@@ -1,0 +1,73 @@
+// Command volplay is the trace-driven volcast player: it connects to a
+// volserve instance, streams a synthetic 6DoF viewport, decodes the cells
+// it receives and reports playback statistics.
+//
+// Usage:
+//
+//	volplay [-addr localhost:7272] [-user 0] [-seconds 5] [-pull [-stride N]]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"volcast/internal/trace"
+	"volcast/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7272", "server address")
+	user := flag.Int("user", 0, "trace user index (0-31)")
+	seconds := flag.Float64("seconds", 5, "playback duration")
+	seed := flag.Int64("seed", 1, "trace seed")
+	noDecode := flag.Bool("nodecode", false, "skip decoding (bandwidth test)")
+	pull := flag.Bool("pull", false, "pull mode: run visibility client-side, request cells explicitly")
+	stride := flag.Int("stride", 1, "density stride requested in pull mode")
+	flag.Parse()
+
+	frames := int(*seconds*30) + 60
+	study := trace.GenerateStudy(frames, *seed)
+	u := *user
+	if u < 0 || u >= study.Users() {
+		log.Fatalf("volplay: user %d out of range 0..%d", u, study.Users()-1)
+	}
+
+	log.Printf("volplay: user %d (%v) connecting to %s…", u, study.Traces[u].Device, *addr)
+	var stats transport.ClientStats
+	var err error
+	if *pull {
+		stats, err = transport.RunPullClient(context.Background(), transport.PullClientConfig{
+			Addr: *addr, ID: uint32(u),
+			Trace:    study.Traces[u],
+			Duration: time.Duration(*seconds * float64(time.Second)),
+			Stride:   uint8(*stride),
+			Decode:   !*noDecode,
+		})
+	} else {
+		stats, err = transport.RunClient(context.Background(), transport.ClientConfig{
+			Addr: *addr, ID: uint32(u), Name: fmt.Sprintf("volplay-%d", u),
+			Trace:    study.Traces[u],
+			Duration: time.Duration(*seconds * float64(time.Second)),
+			Decode:   !*noDecode,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frames received    %d (%.1f FPS)\n", stats.Frames, stats.AvgFPS)
+	fmt.Printf("cells / bytes      %d / %.2f MB\n", stats.Cells, float64(stats.Bytes)/1e6)
+	fmt.Printf("multicast bytes    %.2f MB (%.0f%%)\n",
+		float64(stats.MulticastBytes)/1e6, pct(stats.MulticastBytes, stats.Bytes))
+	fmt.Printf("decoded points     %d (errors: %d)\n", stats.Points, stats.DecodeErrors)
+	fmt.Printf("poses sent         %d\n", stats.PosesSent)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

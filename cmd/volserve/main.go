@@ -1,0 +1,96 @@
+// Command volserve runs the volcast TCP content server: it synthesizes a
+// volumetric video, encodes it into cells, and streams viewport-adapted
+// cell bursts to every connected volplay client.
+//
+// Usage:
+//
+//	volserve [-addr :7272] [-frames 90] [-points 100000] [-performers 3] [-vanilla]
+//	volserve -load content.vcstor            # serve pre-encoded content (volpack)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/pointcloud"
+	"volcast/internal/transport"
+	"volcast/internal/vivo"
+)
+
+func main() {
+	addr := flag.String("addr", ":7272", "listen address")
+	frames := flag.Int("frames", 90, "video frames (looped)")
+	points := flag.Int("points", 100_000, "points per frame")
+	performers := flag.Int("performers", 3, "humanoids on stage")
+	vanilla := flag.Bool("vanilla", false, "disable visibility optimizations")
+	seed := flag.Int64("seed", 1, "content seed")
+	load := flag.String("load", "", "serve a pre-encoded .vcstor container instead of synthesizing")
+	flag.Parse()
+
+	var store *vivo.Store
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = vivo.ReadStore(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("volserve: loaded %s", *load)
+	} else {
+		log.Printf("volserve: generating %d frames × %d points…", *frames, *points)
+		var video *pointcloud.Video
+		if *performers <= 1 {
+			video = pointcloud.SynthVideo(pointcloud.SynthConfig{
+				Frames: *frames, FPS: 30, PointsPerFrame: *points, Seed: *seed, Sway: 1,
+			})
+		} else {
+			video = pointcloud.SynthScene(pointcloud.DefaultSceneConfig(*frames, *points, *seed))
+		}
+		b, ok := video.Bounds()
+		if !ok {
+			log.Fatal("volserve: empty video")
+		}
+		g, err := cell.NewGrid(b, cell.Size50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = vivo.BuildStore(video, g, codec.NewEncoder(codec.DefaultParams()), []int{1, 2, 3, 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("volserve: %d frames, %.0f KB/frame, %.0f Mbps at 30 FPS",
+		store.NumFrames(), store.AvgFrameBytes()/1e3,
+		codec.BitrateMbps(store.AvgFrameBytes(), 30))
+
+	srv, err := transport.NewServer(transport.ServerConfig{Store: store, Vanilla: *vanilla})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
+	log.Printf("volserve: listening on %s", <-ready)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Println()
+		log.Printf("volserve: %v — shutting down", s)
+		srv.Shutdown()
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package volcast_test
+
+import (
+	"fmt"
+	"log"
+
+	"volcast"
+)
+
+// Example shows the minimal end-to-end use of the facade: synthesize
+// content, generate an audience, and simulate a multicast session.
+func Example() {
+	content, err := volcast.NewContent(volcast.ContentOptions{
+		Frames: 5, PointsPerFrame: 8_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	audience, err := volcast.NewAudience(volcast.AudienceOptions{Users: 2, Frames: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := volcast.NewSession(content, audience, volcast.SessionOptions{
+		Seconds: 0.2, Multicast: true, CustomBeams: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qoe, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stalls: %d\n", qoe.Stalls)
+	// Output: stalls: 0
+}

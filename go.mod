@@ -1,0 +1,3 @@
+module volcast
+
+go 1.22

@@ -1,0 +1,96 @@
+package abr
+
+import "math"
+
+// MPC is a model-predictive quality controller: it enumerates quality
+// sequences over a short lookahead horizon, simulates the buffer under
+// the predicted bandwidth, scores each sequence with the standard QoE
+// objective (quality value − rebuffering penalty − switching penalty) and
+// commits only the first step. It is the conventional application-layer
+// alternative the paper's cross-layer controller is compared against:
+// MPC sees only the bandwidth *prediction*, so feeding it the cross-layer
+// predictor (ceilinged, blockage-discounted) upgrades it for free.
+type MPC struct {
+	// Horizon is the number of lookahead segments (3–5 typical).
+	Horizon int
+	// SegmentSec is the segment duration the buffer drains per step.
+	SegmentSec float64
+	// RebufPenalty weighs rebuffering seconds against quality rungs.
+	RebufPenalty float64
+	// SwitchPenalty weighs each quality change.
+	SwitchPenalty float64
+}
+
+// NewMPC returns the standard configuration (horizon 4, 1 s segments).
+func NewMPC() *MPC {
+	return &MPC{Horizon: 4, SegmentSec: 1, RebufPenalty: 8, SwitchPenalty: 0.5}
+}
+
+// Choose returns the quality index (into demand) to fetch next.
+//
+//	demand       per-rung bitrate in Mbps (ascending)
+//	current      the rung currently playing
+//	predictedMbps the bandwidth prediction for the horizon
+//	bufferSec    current buffer level in seconds
+func (m *MPC) Choose(demand []float64, current int, predictedMbps, bufferSec float64) int {
+	n := len(demand)
+	if n == 0 {
+		return 0
+	}
+	if current < 0 {
+		current = 0
+	}
+	if current >= n {
+		current = n - 1
+	}
+	if predictedMbps <= 0 {
+		return 0
+	}
+	h := m.Horizon
+	if h < 1 {
+		h = 1
+	}
+	seg := m.SegmentSec
+	if seg <= 0 {
+		seg = 1
+	}
+
+	bestScore := math.Inf(-1)
+	bestFirst := current
+	seq := make([]int, h)
+	var walk func(step int, buf float64, prev int, score float64)
+	walk = func(step int, buf float64, prev int, score float64) {
+		if step == h {
+			if score > bestScore {
+				bestScore = score
+				bestFirst = seq[0]
+			}
+			return
+		}
+		for q := 0; q < n; q++ {
+			// Download time of a seg-long chunk at rung q.
+			dl := demand[q] * seg / predictedMbps
+			nbuf := buf - dl
+			rebuf := 0.0
+			if nbuf < 0 {
+				rebuf = -nbuf
+				nbuf = 0
+			}
+			nbuf += seg
+			s := score + float64(q) - m.RebufPenalty*rebuf
+			if q != prev {
+				s -= m.SwitchPenalty * math.Abs(float64(q-prev))
+			}
+			// Prune: even perfect quality for the remaining steps cannot
+			// beat the incumbent.
+			remaining := float64((h - step - 1) * (n - 1))
+			if s+remaining <= bestScore {
+				continue
+			}
+			seq[step] = q
+			walk(step+1, nbuf, q, s)
+		}
+	}
+	walk(0, bufferSec, current, 0)
+	return bestFirst
+}

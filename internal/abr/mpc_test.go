@@ -1,0 +1,116 @@
+package abr
+
+import "testing"
+
+var testLadder = []float64{228, 286, 353} // the paper's ladder in Mbps
+
+func TestMPCChoosesTopWithHeadroom(t *testing.T) {
+	m := NewMPC()
+	got := m.Choose(testLadder, 0, 1200, 1.5)
+	if got != 2 {
+		t.Errorf("Choose = %d, want 2 (plenty of bandwidth)", got)
+	}
+}
+
+func TestMPCChoosesBottomWhenStarved(t *testing.T) {
+	m := NewMPC()
+	got := m.Choose(testLadder, 2, 100, 0.3)
+	if got != 0 {
+		t.Errorf("Choose = %d, want 0 (starved)", got)
+	}
+}
+
+func TestMPCHoldsWhenMarginal(t *testing.T) {
+	m := NewMPC()
+	// Bandwidth just covers the middle rung: the switch penalty should
+	// keep it from oscillating to the top and back.
+	got := m.Choose(testLadder, 1, 300, 1.0)
+	if got == 2 {
+		t.Errorf("Choose = %d, upgraded without headroom", got)
+	}
+}
+
+func TestMPCAvoidsRebufferOverQuality(t *testing.T) {
+	m := NewMPC()
+	// Thin buffer and bandwidth below the top rung: quality greed would
+	// stall; the controller must drop.
+	got := m.Choose(testLadder, 2, 250, 0.2)
+	if got == 2 {
+		t.Errorf("Choose = %d, kept a stalling rung", got)
+	}
+}
+
+func TestMPCEdgeCases(t *testing.T) {
+	m := NewMPC()
+	if got := m.Choose(nil, 0, 500, 1); got != 0 {
+		t.Errorf("empty ladder = %d", got)
+	}
+	if got := m.Choose(testLadder, -3, 500, 1); got < 0 || got > 2 {
+		t.Errorf("negative current = %d", got)
+	}
+	if got := m.Choose(testLadder, 9, 500, 1); got < 0 || got > 2 {
+		t.Errorf("overflow current = %d", got)
+	}
+	if got := m.Choose(testLadder, 1, 0, 1); got != 0 {
+		t.Errorf("zero bandwidth = %d", got)
+	}
+	// Degenerate config still terminates.
+	bad := &MPC{Horizon: 0, SegmentSec: 0}
+	if got := bad.Choose(testLadder, 1, 400, 1); got < 0 || got > 2 {
+		t.Errorf("degenerate config = %d", got)
+	}
+}
+
+func TestMPCMonotoneInBandwidth(t *testing.T) {
+	m := NewMPC()
+	prev := 0
+	for bw := 50.0; bw <= 2000; bw += 50 {
+		got := m.Choose(testLadder, prev, bw, 1.2)
+		if got < prev-1 {
+			// Allow hysteresis but not wild downswings as bw rises.
+			t.Fatalf("quality dropped from %d to %d as bandwidth rose to %v", prev, got, bw)
+		}
+		prev = got
+	}
+	if prev != 2 {
+		t.Errorf("never reached top rung: %d", prev)
+	}
+}
+
+func BenchmarkMPCChoose(b *testing.B) {
+	m := NewMPC()
+	for i := 0; i < b.N; i++ {
+		_ = m.Choose(testLadder, 1, 400, 0.8)
+	}
+}
+
+func TestBBAMapping(t *testing.T) {
+	b := NewBBA()
+	if got := b.Choose(3, 0.1); got != 0 {
+		t.Errorf("below reservoir = %d", got)
+	}
+	if got := b.Choose(3, 5.0); got != 2 {
+		t.Errorf("above cushion = %d", got)
+	}
+	mid := b.Choose(3, 0.3+0.6) // halfway through the cushion
+	if mid != 1 {
+		t.Errorf("mid-cushion = %d, want 1", mid)
+	}
+	// Monotone in buffer level.
+	prev := -1
+	for lvl := 0.0; lvl <= 2.0; lvl += 0.05 {
+		q := b.Choose(3, lvl)
+		if q < prev {
+			t.Fatalf("BBA not monotone at %v", lvl)
+		}
+		prev = q
+	}
+	// Degenerate ladders and configs.
+	if b.Choose(1, 1.0) != 0 || b.Choose(0, 1.0) != 0 {
+		t.Error("degenerate ladder mishandled")
+	}
+	bad := &BBA{ReservoirSec: -1, CushionSec: 0}
+	if q := bad.Choose(3, 0.5); q < 0 || q > 2 {
+		t.Errorf("degenerate config = %d", q)
+	}
+}

@@ -1,0 +1,263 @@
+package codec
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"runtime"
+	"sync"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/pointcloud"
+)
+
+func checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// Decoder decompresses blocks produced by Encoder. Decoder is stateless
+// and safe for concurrent use.
+type Decoder struct{}
+
+// DecodedCell is the result of decoding one block.
+type DecodedCell struct {
+	CellID cell.ID
+	Points []pointcloud.Point
+}
+
+// Decode decodes a single encoded cell block, verifying the checksum.
+func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
+	if len(data) < 4+4 {
+		return nil, ErrTruncated
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if checksum(body) != sum {
+		return nil, ErrChecksum
+	}
+	if binary.LittleEndian.Uint16(body) != Magic {
+		return nil, ErrBadMagic
+	}
+	if body[2] != Version {
+		return nil, ErrBadVersion
+	}
+	qb := uint(body[3])
+	if qb == 0 || qb > 16 {
+		return nil, ErrBadGeometry
+	}
+	mode := body[4]
+	if mode != ModeMorton && mode != ModeOctree && mode != ModeOctreeAC {
+		return nil, ErrBadGeometry
+	}
+	p := body[5:]
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	if len(p) < 16 {
+		return nil, ErrTruncated
+	}
+	ox := readFloat32(p[0:])
+	oy := readFloat32(p[4:])
+	oz := readFloat32(p[8:])
+	edge := readFloat32(p[12:])
+	p = p[16:]
+	if edge <= 0 || math.IsNaN(edge) || math.IsInf(edge, 0) {
+		return nil, ErrBadGeometry
+	}
+	levels := uint64(1) << qb
+	scale := edge / float64(levels-1)
+	origin := geom.V(ox, oy, oz)
+
+	out := &DecodedCell{CellID: cell.ID(id), Points: make([]pointcloud.Point, count)}
+	if mode == ModeOctree || mode == ModeOctreeAC {
+		var err error
+		p, err = decodeOctreePositions(p, out, count, qb, origin, scale, mode)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var code uint64
+		for i := uint64(0); i < count; i++ {
+			d, n := binary.Uvarint(p)
+			if n <= 0 {
+				return nil, ErrTruncated
+			}
+			p = p[n:]
+			code += d
+			x, y, z := demorton3(code, qb)
+			out.Points[i].Pos = origin.Add(geom.V(float64(x)*scale, float64(y)*scale, float64(z)*scale))
+		}
+	}
+	// Decode the three decorrelated channels (G, R-G, B-G), expanding
+	// zero-run pairs, then recombine into RGB.
+	chans := [3][]int64{}
+	for ch := 0; ch < 3; ch++ {
+		vals := make([]int64, count)
+		var prev int64
+		for i := uint64(0); i < count; {
+			u, n := binary.Uvarint(p)
+			if n <= 0 {
+				return nil, ErrTruncated
+			}
+			p = p[n:]
+			if u == 0 {
+				run, n := binary.Uvarint(p)
+				if n <= 0 || run == 0 || i+run > count {
+					return nil, ErrTruncated
+				}
+				p = p[n:]
+				for j := uint64(0); j < run; j++ {
+					vals[i] = prev
+					i++
+				}
+				continue
+			}
+			prev += unzigzag(u)
+			vals[i] = prev
+			i++
+		}
+		chans[ch] = vals
+	}
+	for i := uint64(0); i < count; i++ {
+		g := chans[0][i]
+		out.Points[i].G = uint8(clampI64(g, 0, 255))
+		out.Points[i].R = uint8(clampI64(g+chans[1][i], 0, 255))
+		out.Points[i].B = uint8(clampI64(g+chans[2][i], 0, 255))
+	}
+	return out, nil
+}
+
+// DecodeFrame decodes a set of blocks into a single cloud, spreading the
+// per-cell work across CPUs (cells are independently decodable — the
+// property the streaming design is built on). The first error wins.
+func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, error) {
+	if len(blocks) == 0 {
+		return &pointcloud.Cloud{}, nil
+	}
+	list := make([]*Block, 0, len(blocks))
+	total := 0
+	for _, b := range blocks {
+		list = append(list, b)
+		total += b.NumPoints
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(list) {
+		workers = len(list)
+	}
+	if workers <= 1 {
+		out := &pointcloud.Cloud{Points: make([]pointcloud.Point, 0, total)}
+		for _, b := range list {
+			dc, err := d.Decode(b.Data)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, dc.Points...)
+		}
+		return out, nil
+	}
+	results := make([][]pointcloud.Point, len(list))
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				dc, err := d.Decode(list[i].Data)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = dc.Points
+			}
+		}()
+	}
+	for i := range list {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	out := &pointcloud.Cloud{Points: make([]pointcloud.Point, 0, total)}
+	for i := range list {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.Points = append(out.Points, results[i]...)
+	}
+	return out, nil
+}
+
+// decodeOctreePositions reads the occupancy tree plus duplicate counts
+// and fills the output positions in Morton order.
+func decodeOctreePositions(p []byte, out *DecodedCell, count uint64, qb uint, origin geom.Vec3, scale float64, mode uint8) ([]byte, error) {
+	// The unique-code count is implied by the tree; decode up to `count`
+	// leaves (duplicates only ever reduce the unique count).
+	var rest []byte
+	var codes []uint64
+	var ok bool
+	if mode == ModeOctreeAC {
+		rest, codes, ok = octreeDecodeAC(p, int(count), qb)
+	} else {
+		rest, codes, ok = octreeDecodeBounded(p, int(count), qb)
+	}
+	if !ok {
+		return nil, ErrTruncated
+	}
+	p = rest
+	if len(p) < 1 {
+		return nil, ErrTruncated
+	}
+	dupFlag := p[0]
+	p = p[1:]
+	counts := make([]uint64, len(codes))
+	if dupFlag == 1 {
+		for i := range counts {
+			c, n := binary.Uvarint(p)
+			if n <= 0 {
+				return nil, ErrTruncated
+			}
+			p = p[n:]
+			counts[i] = c + 1
+		}
+	} else {
+		for i := range counts {
+			counts[i] = 1
+		}
+	}
+	pi := 0
+	for ci, code := range codes {
+		x, y, z := demorton3(code, qb)
+		pos := origin.Add(geom.V(float64(x)*scale, float64(y)*scale, float64(z)*scale))
+		for r := uint64(0); r < counts[ci]; r++ {
+			if pi >= int(count) {
+				return nil, ErrTruncated
+			}
+			out.Points[pi].Pos = pos
+			pi++
+		}
+	}
+	if pi != int(count) {
+		return nil, ErrTruncated
+	}
+	return p, nil
+}
+
+func readFloat32(b []byte) float64 {
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+}
+
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,259 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/pointcloud"
+)
+
+// Block layout (all multi-byte integers little-endian unless varint):
+//
+//	magic     uint16
+//	version   uint8
+//	quantBits uint8
+//	mode      uint8          (ModeMorton | ModeOctree)
+//	cellID    uvarint
+//	numPoints uvarint
+//	origin    3 × float32   (cell AABB min corner)
+//	edge      float32       (cell edge length)
+//	positions mode-dependent:
+//	  Morton: numPoints × uvarint (delta of Morton-sorted codes)
+//	  Octree: DFS occupancy bytes over the deduplicated codes, then a
+//	          dup flag byte (1 → per-unique-code uvarint count-1 list)
+//	colors    3 × numPoints × uvarint (zigzag delta + zero-run RLE,
+//	          planar, decorrelated (G, R-G, B-G); point order is the
+//	          Morton order in both modes)
+//	crc32     uint32        (IEEE, over everything before it)
+
+// qpoint is one quantized point: its Morton code and source index.
+type qpoint struct {
+	code uint64
+	idx  int
+}
+
+// Encoder compresses cells of point-cloud frames. Encoder is stateless and
+// safe for concurrent use.
+type Encoder struct {
+	params Params
+}
+
+// NewEncoder returns an encoder with the given parameters; zero-value
+// params are replaced by DefaultParams.
+func NewEncoder(p Params) *Encoder {
+	if p.QuantBits == 0 {
+		p = DefaultParams()
+	}
+	if p.QuantBits > 16 {
+		p.QuantBits = 16
+	}
+	return &Encoder{params: p}
+}
+
+// EncodeCell encodes the points at the given indices of the cloud, which
+// must all lie inside cellBounds. In Auto mode both position coders run
+// and the smaller block wins.
+func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB) *Block {
+	if e.params.Auto {
+		best := (*Block)(nil)
+		for _, variant := range []Params{
+			{QuantBits: e.params.QuantBits},
+			{QuantBits: e.params.QuantBits, Octree: true},
+			{QuantBits: e.params.QuantBits, Octree: true, Arithmetic: true},
+		} {
+			blk := (&Encoder{params: variant}).EncodeCell(id, c, idxs, cellBounds)
+			if best == nil || blk.Size() < best.Size() {
+				best = blk
+			}
+		}
+		return best
+	}
+	qb := uint(e.params.QuantBits)
+	levels := uint64(1) << qb
+	edge := cellBounds.Size().X
+	if s := cellBounds.Size(); s.Y > edge {
+		edge = s.Y
+	}
+	if s := cellBounds.Size(); s.Z > edge {
+		edge = s.Z
+	}
+	if edge <= 0 {
+		edge = 1e-6
+	}
+	inv := float64(levels-1) / edge
+
+	// Quantize each point to a Morton code for locality-friendly deltas.
+	qs := make([]qpoint, 0, len(idxs))
+	for _, i := range idxs {
+		d := c.Points[i].Pos.Sub(cellBounds.Min)
+		x := quant(d.X*inv, levels)
+		y := quant(d.Y*inv, levels)
+		z := quant(d.Z*inv, levels)
+		qs = append(qs, qpoint{code: morton3(x, y, z, qb), idx: i})
+	}
+	sort.Slice(qs, func(a, b int) bool { return qs[a].code < qs[b].code })
+
+	mode := ModeMorton
+	switch {
+	case e.params.Octree && e.params.Arithmetic, e.params.Arithmetic:
+		mode = ModeOctreeAC
+	case e.params.Octree:
+		mode = ModeOctree
+	}
+	buf := make([]byte, 0, 8+len(qs)*4)
+	buf = binary.LittleEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, e.params.QuantBits, mode)
+	buf = binary.AppendUvarint(buf, uint64(id))
+	buf = binary.AppendUvarint(buf, uint64(len(qs)))
+	buf = appendFloat32(buf, cellBounds.Min.X)
+	buf = appendFloat32(buf, cellBounds.Min.Y)
+	buf = appendFloat32(buf, cellBounds.Min.Z)
+	buf = appendFloat32(buf, edge)
+
+	if mode == ModeOctree || mode == ModeOctreeAC {
+		buf = appendOctreePositions(buf, qs, uint(e.params.QuantBits), mode)
+	} else {
+		var prev uint64
+		for _, q := range qs {
+			buf = binary.AppendUvarint(buf, q.code-prev)
+			prev = q.code
+		}
+	}
+	// Colors planar in decorrelated (G, R-G, B-G) space, delta+zigzag per
+	// channel with zero-run RLE: neighbouring points in Morton order tend
+	// to share colors and the chroma channels are near-constant on real
+	// surfaces, so most symbols collapse into runs.
+	for ch := 0; ch < 3; ch++ {
+		var prev int64
+		var zrun uint64
+		for _, q := range qs {
+			p := c.Points[q.idx]
+			v := colorChannel(p, ch)
+			d := zigzag(v - prev)
+			prev = v
+			if d == 0 {
+				zrun++
+				continue
+			}
+			buf = flushZeroRun(buf, &zrun)
+			buf = binary.AppendUvarint(buf, d)
+		}
+		buf = flushZeroRun(buf, &zrun)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, checksum(buf))
+	return &Block{CellID: id, NumPoints: len(qs), Data: buf}
+}
+
+// EncodeFrame partitions the cloud on the grid and encodes every occupied
+// cell, returning blocks keyed by cell ID.
+func (e *Encoder) EncodeFrame(g *cell.Grid, c *pointcloud.Cloud) map[cell.ID]*Block {
+	parts := g.Partition(c)
+	out := make(map[cell.ID]*Block, len(parts))
+	for id, idxs := range parts {
+		out[id] = e.EncodeCell(id, c, idxs, g.Bounds(id))
+	}
+	return out
+}
+
+// appendOctreePositions emits the occupancy tree over the sorted codes
+// plus the duplicate-count stream.
+func appendOctreePositions(buf []byte, qs []qpoint, qb uint, mode uint8) []byte {
+	uniques := make([]uint64, 0, len(qs))
+	counts := make([]uint64, 0, len(qs))
+	hasDup := false
+	for i := 0; i < len(qs); {
+		j := i
+		for j < len(qs) && qs[j].code == qs[i].code {
+			j++
+		}
+		uniques = append(uniques, qs[i].code)
+		counts = append(counts, uint64(j-i))
+		if j-i > 1 {
+			hasDup = true
+		}
+		i = j
+	}
+	if mode == ModeOctreeAC {
+		buf = octreeEncodeAC(buf, uniques, qb)
+	} else {
+		buf = octreeEncode(buf, uniques, qb)
+	}
+	if hasDup {
+		buf = append(buf, 1)
+		for _, c := range counts {
+			buf = binary.AppendUvarint(buf, c-1)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func quant(v float64, levels uint64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	u := uint64(math.Round(v))
+	if u >= levels {
+		u = levels - 1
+	}
+	return u
+}
+
+// morton3 interleaves the low `bits` bits of x, y, z into a Morton code.
+func morton3(x, y, z uint64, bits uint) uint64 {
+	var out uint64
+	for i := uint(0); i < bits; i++ {
+		out |= ((x >> i) & 1) << (3 * i)
+		out |= ((y >> i) & 1) << (3*i + 1)
+		out |= ((z >> i) & 1) << (3*i + 2)
+	}
+	return out
+}
+
+// demorton3 inverts morton3.
+func demorton3(code uint64, bits uint) (x, y, z uint64) {
+	for i := uint(0); i < bits; i++ {
+		x |= ((code >> (3 * i)) & 1) << i
+		y |= ((code >> (3*i + 1)) & 1) << i
+		z |= ((code >> (3*i + 2)) & 1) << i
+	}
+	return x, y, z
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// colorChannel returns the decorrelated color channel value of p:
+// channel 0 is luma-ish G, channels 1 and 2 are the chroma residuals
+// R-G and B-G (near-constant on natural surfaces).
+func colorChannel(p pointcloud.Point, ch int) int64 {
+	switch ch {
+	case 0:
+		return int64(p.G)
+	case 1:
+		return int64(p.R) - int64(p.G)
+	default:
+		return int64(p.B) - int64(p.G)
+	}
+}
+
+// flushZeroRun emits a pending run of zero deltas as the pair (0, runLen)
+// and resets the counter. A zero delta is never emitted bare, so the 0
+// symbol unambiguously introduces a run length.
+func flushZeroRun(buf []byte, zrun *uint64) []byte {
+	if *zrun == 0 {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, 0)
+	buf = binary.AppendUvarint(buf, *zrun)
+	*zrun = 0
+	return buf
+}
+
+func appendFloat32(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v)))
+}

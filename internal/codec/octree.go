@@ -1,0 +1,92 @@
+package codec
+
+// Octree occupancy coding — the position coder real point-cloud codecs
+// (MPEG G-PCC, Draco) use: the quantized lattice inside a cell is
+// recursively split into octants and, for each non-empty node, one byte
+// records which children are occupied. Positions cost ~1–4 bits/point at
+// volumetric densities, versus ~10–16 for Morton-delta coding, at the
+// price of deduplicating co-located points. The encoder walks depth-first
+// so leaves emerge in Morton order — the same order the Morton coder
+// sorts into — letting both modes share the color coder unchanged.
+
+// octreeEncode appends the DFS occupancy-byte stream for the sorted,
+// deduplicated Morton codes. Codes must be sorted ascending and unique;
+// qb is the tree depth (bits per axis).
+func octreeEncode(buf []byte, codes []uint64, qb uint) []byte {
+	if len(codes) == 0 {
+		return buf
+	}
+	return octreeNode(buf, codes, 3*int(qb)-3)
+}
+
+// octreeNode emits one node covering codes that share all bits above
+// shift+3, partitioned by the 3-bit digit at shift. shift < 0 means leaf.
+func octreeNode(buf []byte, codes []uint64, shift int) []byte {
+	if shift < 0 {
+		return buf
+	}
+	// Partition the (sorted) codes by their 3-bit digit at shift.
+	var bounds [9]int
+	idx := 0
+	for child := uint64(0); child < 8; child++ {
+		bounds[child] = idx
+		for idx < len(codes) && (codes[idx]>>uint(shift))&7 == child {
+			idx++
+		}
+	}
+	bounds[8] = idx
+	var occ byte
+	for child := 0; child < 8; child++ {
+		if bounds[child+1] > bounds[child] {
+			occ |= 1 << uint(child)
+		}
+	}
+	buf = append(buf, occ)
+	for child := 0; child < 8; child++ {
+		if bounds[child+1] > bounds[child] {
+			buf = octreeNode(buf, codes[bounds[child]:bounds[child+1]], shift-3)
+		}
+	}
+	return buf
+}
+
+func octreeDecodeNode(buf []byte, shift int, prefix uint64, out *[]uint64, max int) ([]byte, bool) {
+	if shift < 0 {
+		if len(*out) >= max {
+			return nil, false
+		}
+		*out = append(*out, prefix)
+		return buf, true
+	}
+	if len(buf) == 0 {
+		return nil, false
+	}
+	occ := buf[0]
+	buf = buf[1:]
+	if occ == 0 {
+		return nil, false // a visited node must have children
+	}
+	for child := 0; child < 8; child++ {
+		if occ&(1<<uint(child)) == 0 {
+			continue
+		}
+		var ok bool
+		buf, ok = octreeDecodeNode(buf, shift-3, prefix|uint64(child)<<uint(shift), out, max)
+		if !ok {
+			return nil, false
+		}
+	}
+	return buf, true
+}
+
+// octreeDecodeBounded decodes at most maxLeaves leaves; unlike
+// octreeDecode it tolerates the leaf count being smaller than the point
+// count (duplicates collapse into one leaf).
+func octreeDecodeBounded(buf []byte, maxLeaves int, qb uint) (rest []byte, codes []uint64, ok bool) {
+	codes = make([]uint64, 0, maxLeaves)
+	rest, ok = octreeDecodeNode(buf, 3*int(qb)-3, 0, &codes, maxLeaves)
+	if !ok {
+		return nil, nil, false
+	}
+	return rest, codes, true
+}

@@ -1,0 +1,60 @@
+package codec
+
+import (
+	"volcast/internal/cell"
+	"volcast/internal/pointcloud"
+)
+
+// Stats summarizes the compression achieved over a set of blocks.
+type Stats struct {
+	Blocks       int
+	Points       int
+	Bytes        int
+	BitsPerPoint float64
+}
+
+// Measure computes compression statistics for one encoded frame.
+func Measure(blocks map[cell.ID]*Block) Stats {
+	var s Stats
+	for _, b := range blocks {
+		s.Blocks++
+		s.Points += b.NumPoints
+		s.Bytes += b.Size()
+	}
+	if s.Points > 0 {
+		s.BitsPerPoint = float64(s.Bytes*8) / float64(s.Points)
+	}
+	return s
+}
+
+// BitrateMbps returns the streaming bitrate in Mbit/s for frames of the
+// given mean encoded size at the given frame rate.
+func BitrateMbps(bytesPerFrame float64, fps int) float64 {
+	return bytesPerFrame * 8 * float64(fps) / 1e6
+}
+
+// DecodeRate models the client's decompression capability. The paper's
+// client laptops (i7, 4 cores) decode at most 550K points per frame at
+// 30 FPS — i.e. 16.5M points/s — which is why 550K is the top quality rung.
+type DecodeRate struct {
+	// PointsPerSecond is the sustained decode throughput.
+	PointsPerSecond float64
+}
+
+// DefaultDecodeRate matches the paper's client hardware ceiling.
+func DefaultDecodeRate() DecodeRate {
+	return DecodeRate{PointsPerSecond: float64(pointcloud.QualityHigh.Points()) * 30}
+}
+
+// MaxFPS returns the highest frame rate the client can decode for frames
+// of the given point count, capped at cap (the content frame rate).
+func (d DecodeRate) MaxFPS(pointsPerFrame int, cap float64) float64 {
+	if pointsPerFrame <= 0 {
+		return cap
+	}
+	f := d.PointsPerSecond / float64(pointsPerFrame)
+	if f > cap {
+		return cap
+	}
+	return f
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/pointcloud"
+	"volcast/internal/trace"
+)
+
+// Fig2Config scopes the viewport-similarity study (Fig. 2a/2b).
+type Fig2Config struct {
+	// Frames is the session length (paper: 300 frames, 10 s).
+	Frames int
+	// Seed drives content and trace generation.
+	Seed int64
+	// ScenePoints is the stage's total point budget (visibility only
+	// depends on occupancy, so a modest budget suffices).
+	ScenePoints int
+	// UsersPerGroup bounds how many users per device group enter the
+	// pairwise statistics (all 16 is slower; 8 is statistically ample).
+	UsersPerGroup int
+}
+
+// DefaultFig2Config reproduces the paper's figure.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{Frames: 300, Seed: 1, ScenePoints: 60_000, UsersPerGroup: 8}
+}
+
+// visibilityMaps computes per-user per-frame visibility maps (frustum
+// culling, the paper's Section 3 methodology) on the given cell size.
+func visibilityMaps(study *trace.Study, video *pointcloud.Video, size float64, users []int) ([][]*cell.Set, error) {
+	b, ok := video.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("experiments: empty video")
+	}
+	g, err := cell.NewGrid(b, size)
+	if err != nil {
+		return nil, err
+	}
+	occ := make([]*cell.Set, len(video.Frames))
+	for i, f := range video.Frames {
+		occ[i] = g.OccupiedCells(f)
+	}
+	out := make([][]*cell.Set, len(users))
+	for ui, u := range users {
+		tr := study.Traces[u]
+		out[ui] = make([]*cell.Set, len(video.Frames))
+		for i := range video.Frames {
+			fr := geom.NewFrustum(tr.PoseAt(i), geom.DefaultFrustumParams())
+			out[ui][i] = g.VisibleCells(occ[i], fr)
+		}
+	}
+	return out, nil
+}
+
+// Fig2aSeries is one curve of Fig. 2a: a user pair's IoU per frame.
+type Fig2aSeries struct {
+	UserA, UserB int
+	IoU          []float64
+}
+
+// Fig2a reproduces the paper's Fig. 2a: IoU over time for two
+// representative pairs on 50 cm cells — the pair that tracks together for
+// the whole session (the paper's Users 0,1) and the pair that starts
+// apart and converges to full overlap by the end (the paper's Users 3,9).
+func Fig2a(cfg Fig2Config) ([]Fig2aSeries, error) {
+	cfg = fig2Defaults(cfg)
+	study := trace.GenerateStudy(cfg.Frames, cfg.Seed)
+	video := pointcloud.SynthScene(pointcloud.SceneConfig{
+		Base:    pointcloud.SynthConfig{Frames: cfg.Frames, FPS: 30, PointsPerFrame: cfg.ScenePoints, Seed: cfg.Seed, Sway: 1},
+		Offsets: trace.StudyPOIs(),
+	})
+	users := make([]int, cfg.UsersPerGroup)
+	for i := range users {
+		users[i] = i // headset group
+	}
+	maps, err := visibilityMaps(study, video, cell.Size50, users)
+	if err != nil {
+		return nil, err
+	}
+	n := len(users)
+	series := func(a, b int) []float64 {
+		out := make([]float64, cfg.Frames)
+		for f := 0; f < cfg.Frames; f++ {
+			out[f] = cell.IoU(maps[a][f], maps[b][f])
+		}
+		return out
+	}
+	// Representative pair 1: highest mean IoU (the "watch exactly the
+	// same content" pair). Representative pair 2: the strongest
+	// rising trend (low first quarter, high last quarter).
+	bestMeanA, bestMeanB, bestMean := 0, 1, -1.0
+	bestTrendA, bestTrendB, bestTrend := 0, 1, -1e9
+	q := cfg.Frames / 4
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			s := series(a, b)
+			mean, head, tail := 0.0, 0.0, 0.0
+			for f, v := range s {
+				mean += v
+				if f < q {
+					head += v
+				}
+				if f >= cfg.Frames-q {
+					tail += v
+				}
+			}
+			mean /= float64(cfg.Frames)
+			trend := (tail - head) / float64(q)
+			if mean > bestMean {
+				bestMean, bestMeanA, bestMeanB = mean, a, b
+			}
+			if trend > bestTrend {
+				bestTrend, bestTrendA, bestTrendB = trend, a, b
+			}
+		}
+	}
+	return []Fig2aSeries{
+		{UserA: users[bestMeanA], UserB: users[bestMeanB], IoU: series(bestMeanA, bestMeanB)},
+		{UserA: users[bestTrendA], UserB: users[bestTrendB], IoU: series(bestTrendA, bestTrendB)},
+	}, nil
+}
+
+func fig2Defaults(cfg Fig2Config) Fig2Config {
+	d := DefaultFig2Config()
+	if cfg.Frames <= 0 {
+		cfg.Frames = d.Frames
+	}
+	if cfg.ScenePoints <= 0 {
+		cfg.ScenePoints = d.ScenePoints
+	}
+	if cfg.UsersPerGroup <= 1 {
+		cfg.UsersPerGroup = d.UsersPerGroup
+	}
+	if cfg.UsersPerGroup > 16 {
+		cfg.UsersPerGroup = 16
+	}
+	return cfg
+}
+
+// Fig2bCurve is one CDF of Fig. 2b.
+type Fig2bCurve struct {
+	// Label matches the paper's legend, e.g. "HM(2)-Seg(50cm)".
+	Label string
+	// IoUs holds the raw samples (sort to plot the CDF).
+	IoUs []float64
+}
+
+// Fig2b reproduces the paper's Fig. 2b: IoU CDFs for HM(2)-Seg(100cm),
+// HM(2)-Seg(50cm), PH(2)-Seg(50cm) and HM(3)-Seg(50cm).
+func Fig2b(cfg Fig2Config) ([]Fig2bCurve, error) {
+	cfg = fig2Defaults(cfg)
+	study := trace.GenerateStudy(cfg.Frames, cfg.Seed)
+	video := pointcloud.SynthScene(pointcloud.SceneConfig{
+		Base:    pointcloud.SynthConfig{Frames: cfg.Frames, FPS: 30, PointsPerFrame: cfg.ScenePoints, Seed: cfg.Seed, Sway: 1},
+		Offsets: trace.StudyPOIs(),
+	})
+	hm := make([]int, cfg.UsersPerGroup)
+	ph := make([]int, cfg.UsersPerGroup)
+	for i := range hm {
+		hm[i] = i
+		ph[i] = 16 + i
+	}
+	type variant struct {
+		label string
+		size  float64
+		users []int
+		k     int
+	}
+	variants := []variant{
+		{"HM(2)-Seg(100cm)", cell.Size100, hm, 2},
+		{"HM(2)-Seg(50cm)", cell.Size50, hm, 2},
+		{"PH(2)-Seg(50cm)", cell.Size50, ph, 2},
+		{"HM(3)-Seg(50cm)", cell.Size50, hm, 3},
+	}
+	var curves []Fig2bCurve
+	for _, v := range variants {
+		maps, err := visibilityMaps(study, video, v.size, v.users)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		n := len(v.users)
+		step := 5 // sample every 5th frame: plenty of mass, 5× faster
+		if v.k == 2 {
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					for f := 0; f < cfg.Frames; f += step {
+						vals = append(vals, cell.IoU(maps[a][f], maps[b][f]))
+					}
+				}
+			}
+		} else {
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					for c := b + 1; c < n; c++ {
+						for f := 0; f < cfg.Frames; f += step * 3 {
+							vals = append(vals, cell.GroupIoU([]*cell.Set{maps[a][f], maps[b][f], maps[c][f]}))
+						}
+					}
+				}
+			}
+		}
+		curves = append(curves, Fig2bCurve{Label: v.label, IoUs: vals})
+	}
+	return curves, nil
+}
+
+// Percentile returns the p-quantile (0..1) of the samples.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// RenderFig2a prints the two series as columns.
+func RenderFig2a(series []Fig2aSeries) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "# pair User %d, User %d\n", s.UserA, s.UserB)
+	}
+	fmt.Fprintf(&b, "%-7s", "frame")
+	for _, s := range series {
+		fmt.Fprintf(&b, " IoU(%d,%d)", s.UserA, s.UserB)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for f := 0; f < len(series[0].IoU); f += 10 {
+		fmt.Fprintf(&b, "%-7d", f)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %8.3f", s.IoU[f])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCDF prints labeled quantile tables for a set of sample curves.
+func RenderCDF(labels []string, curves [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s %8s\n", "curve", "p10", "p25", "p50", "p75", "p90")
+	for i, label := range labels {
+		fmt.Fprintf(&b, "%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n", label,
+			Percentile(curves[i], 0.10), Percentile(curves[i], 0.25),
+			Percentile(curves[i], 0.50), Percentile(curves[i], 0.75),
+			Percentile(curves[i], 0.90))
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"volcast/internal/beam"
+	"volcast/internal/geom"
+	"volcast/internal/phy"
+	"volcast/internal/stream"
+	"volcast/internal/trace"
+)
+
+// Fig3Config scopes the mmWave multicast experiments (Fig. 3b/3d/3e).
+type Fig3Config struct {
+	// Samples is the number of sampled user-position sets per curve.
+	Samples int
+	// Seed drives trace generation and sampling.
+	Seed int64
+	// Frames is the trace length positions are drawn from.
+	Frames int
+}
+
+// DefaultFig3Config reproduces the paper's preliminary measurements.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{Samples: 400, Seed: 1, Frames: 300}
+}
+
+func fig3Defaults(cfg Fig3Config) Fig3Config {
+	d := DefaultFig3Config()
+	if cfg.Samples <= 0 {
+		cfg.Samples = d.Samples
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = d.Frames
+	}
+	return cfg
+}
+
+// fig3World builds the mmWave network and the headset-user trace pool the
+// positions are sampled from (the paper replays the Section 3 viewport
+// traces in its mmWave testbed).
+func fig3World(cfg Fig3Config) (*stream.Network, *trace.Study, error) {
+	net, err := stream.NewAD()
+	if err != nil {
+		return nil, nil, err
+	}
+	study := trace.Generate(trace.GenConfig{
+		Users: 16, Device: trace.DeviceHeadset, Frames: cfg.Frames, Hz: 30,
+		Seed: cfg.Seed, ContentHeight: 1.8, POIs: trace.StudyPOIs(),
+	})
+	return net, study, nil
+}
+
+// samplePositions draws k distinct users' positions at a random frame.
+func samplePositions(r *rand.Rand, study *trace.Study, k int) []geom.Vec3 {
+	f := r.Intn(study.Traces[0].Len())
+	perm := r.Perm(study.Users())[:k]
+	out := make([]geom.Vec3, k)
+	for i, u := range perm {
+		out[i] = study.Traces[u].PoseAt(f).Pos
+	}
+	return out
+}
+
+// Fig3bCurve is the common-RSS CDF for one multicast group size under the
+// default codebook.
+type Fig3bCurve struct {
+	GroupSize int
+	RSS       []float64
+}
+
+// Fig3b reproduces the paper's Fig. 3b: the CDF of the best common RSS
+// the default single-lobe codebook can give a multicast group of 1, 2 or
+// 3 users drawn from the viewport traces. Larger groups get worse RSS
+// because no single sector covers separated users.
+func Fig3b(cfg Fig3Config) ([]Fig3bCurve, error) {
+	cfg = fig3Defaults(cfg)
+	net, study, err := fig3World(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := net.Designer
+	var curves []Fig3bCurve
+	for _, k := range []int{1, 2, 3} {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+		vals := make([]float64, 0, cfg.Samples)
+		for s := 0; s < cfg.Samples; s++ {
+			pos := samplePositions(r, study, k)
+			members := make([]beam.Member, k)
+			for i, p := range pos {
+				members[i] = d.MemberFor(p)
+			}
+			_, minRSS := d.BestDefaultCommon(members)
+			vals = append(vals, minRSS)
+		}
+		curves = append(curves, Fig3bCurve{GroupSize: k, RSS: vals})
+	}
+	return curves, nil
+}
+
+// Fig3dResult holds the two CDFs of Fig. 3d.
+type Fig3dResult struct {
+	// DefaultRSS / CustomRSS are the two-user common RSS samples under
+	// the best default beam and the customized multi-lobe beam.
+	DefaultRSS, CustomRSS []float64
+}
+
+// Fig3d reproduces the paper's Fig. 3d: for two-user groups from the
+// traces, the common (min-member) RSS under the default codebook versus
+// the customized combined-weight beam, in the ray-traced room (the
+// Remcom stand-in). The custom beams lift the low tail — the "Max.
+// Common RSS improvement" the paper circles.
+func Fig3d(cfg Fig3Config) (Fig3dResult, error) {
+	cfg = fig3Defaults(cfg)
+	net, study, err := fig3World(cfg)
+	if err != nil {
+		return Fig3dResult{}, err
+	}
+	d := net.Designer
+	r := rand.New(rand.NewSource(cfg.Seed + 77))
+	var out Fig3dResult
+	for s := 0; s < cfg.Samples; s++ {
+		pos := samplePositions(r, study, 2)
+		members := []beam.Member{d.MemberFor(pos[0]), d.MemberFor(pos[1])}
+		_, defMin := d.BestDefaultCommon(members)
+		w, err := d.DesignCustom(members)
+		if err != nil {
+			return Fig3dResult{}, err
+		}
+		cus := math.Inf(1)
+		for _, v := range d.GroupRSS(w, members) {
+			if v < cus {
+				cus = v
+			}
+		}
+		// The paper's selection rule: fall back to the default beam when
+		// it is already the better choice.
+		if defMin > cus {
+			cus = defMin
+		}
+		out.DefaultRSS = append(out.DefaultRSS, defMin)
+		out.CustomRSS = append(out.CustomRSS, cus)
+	}
+	return out, nil
+}
+
+// Fig3eResult holds the normalized throughput bars of Fig. 3e.
+type Fig3eResult struct {
+	// Unicast, MulticastDefault, MulticastCustom are mean normalized
+	// throughputs (normalized per-sample by the best scheme).
+	Unicast, MulticastDefault, MulticastCustom float64
+	// WinsDefault counts samples where default-beam multicast beat
+	// unicast; WinsCustom likewise for custom beams — the paper's
+	// observation is that the default beams sometimes lose.
+	WinsDefault, WinsCustom int
+	// Samples is the number of two-user draws.
+	Samples int
+}
+
+// Fig3e reproduces the paper's Fig. 3e: delivering the overlapped cells
+// to two users by unicast (twice, at each user's own rate), by multicast
+// with the best default beam, and by multicast with the customized
+// two-lobe beam. Throughput is bytes delivered per airtime, normalized
+// per sample by the best of the three schemes.
+func Fig3e(cfg Fig3Config) (Fig3eResult, error) {
+	cfg = fig3Defaults(cfg)
+	net, study, err := fig3World(cfg)
+	if err != nil {
+		return Fig3eResult{}, err
+	}
+	d := net.Designer
+	r := rand.New(rand.NewSource(cfg.Seed + 99))
+	var res Fig3eResult
+	var sumU, sumD, sumC float64
+	for s := 0; s < cfg.Samples; s++ {
+		pos := samplePositions(r, study, 2)
+		members := []beam.Member{d.MemberFor(pos[0]), d.MemberFor(pos[1])}
+
+		// Unicast: each user served by their own best sector; delivering
+		// the shared payload S to both costs S/r1 + S/r2 airtime and
+		// moves 2S bytes → throughput = 2/(1/r1+1/r2) (harmonic mean).
+		r1 := net.MAC.EffectiveRate(phy.RateForRSS(phy.AD_SC_MCS, members[0].RSSDBm))
+		r2 := net.MAC.EffectiveRate(phy.RateForRSS(phy.AD_SC_MCS, members[1].RSSDBm))
+		uni := 0.0
+		if r1 > 0 && r2 > 0 {
+			uni = 2 / (1/r1 + 1/r2)
+		}
+
+		// Multicast: one transmission at the group's common MCS reaches
+		// both users → throughput = 2 × r_common.
+		defW, _ := d.BestDefaultCommon(members)
+		mcDef := 2 * groupRate(net, d, defW, members)
+
+		cusW, err := d.DesignCustom(members)
+		if err != nil {
+			return Fig3eResult{}, err
+		}
+		mcCus := 2 * groupRate(net, d, cusW, members)
+		if mcDef > mcCus { // selection rule: custom never chosen when worse
+			mcCus = mcDef
+		}
+
+		best := math.Max(uni, math.Max(mcDef, mcCus))
+		if best <= 0 {
+			continue
+		}
+		sumU += uni / best
+		sumD += mcDef / best
+		sumC += mcCus / best
+		if mcDef > uni {
+			res.WinsDefault++
+		}
+		if mcCus > uni {
+			res.WinsCustom++
+		}
+		res.Samples++
+	}
+	if res.Samples > 0 {
+		n := float64(res.Samples)
+		res.Unicast, res.MulticastDefault, res.MulticastCustom = sumU/n, sumD/n, sumC/n
+	}
+	return res, nil
+}
+
+// groupRate returns the effective MAC rate at the group's common MCS
+// under transmit weights w.
+func groupRate(net *stream.Network, d *beam.Designer, w phy.AWV, members []beam.Member) float64 {
+	rss := d.GroupRSS(w, members)
+	m, ok := phy.CommonMCS(phy.AD_SC_MCS, rss)
+	if !ok {
+		return 0
+	}
+	return net.MAC.EffectiveRate(m.RateMbps)
+}
+
+// RenderFig3b prints the group-size RSS CDF table.
+func RenderFig3b(curves []Fig3bCurve) string {
+	labels := make([]string, len(curves))
+	vals := make([][]float64, len(curves))
+	for i, c := range curves {
+		labels[i] = fmt.Sprintf("%d user(s)", c.GroupSize)
+		vals[i] = c.RSS
+	}
+	var b strings.Builder
+	b.WriteString("common RSS (dBm) by multicast group size, default codebook\n")
+	b.WriteString(RenderCDF(labels, vals))
+	// The paper's anchor: fraction of positions sustaining ≥ -68 dBm.
+	for i, c := range curves {
+		ok := 0
+		for _, v := range c.RSS {
+			if v >= -68 {
+				ok++
+			}
+		}
+		fmt.Fprintf(&b, "%s: %.1f%% of positions >= -68 dBm (385 Mbps)\n",
+			labels[i], 100*float64(ok)/float64(len(c.RSS)))
+	}
+	return b.String()
+}
+
+// RenderFig3d prints the default-vs-custom CDF table.
+func RenderFig3d(res Fig3dResult) string {
+	var b strings.Builder
+	b.WriteString("two-user common RSS (dBm): default codebook vs customized beams\n")
+	b.WriteString(RenderCDF(
+		[]string{"default beam", "customized beams"},
+		[][]float64{res.DefaultRSS, res.CustomRSS},
+	))
+	return b.String()
+}
+
+// RenderFig3e prints the normalized throughput bars.
+func RenderFig3e(res Fig3eResult) string {
+	var b strings.Builder
+	b.WriteString("normalized throughput, two users (1.0 = best scheme per sample)\n")
+	fmt.Fprintf(&b, "%-26s %6.3f\n", "unicast", res.Unicast)
+	fmt.Fprintf(&b, "%-26s %6.3f\n", "multicast (default beam)", res.MulticastDefault)
+	fmt.Fprintf(&b, "%-26s %6.3f\n", "multicast (custom beam)", res.MulticastCustom)
+	fmt.Fprintf(&b, "multicast>unicast: default %d/%d, custom %d/%d samples\n",
+		res.WinsDefault, res.Samples, res.WinsCustom, res.Samples)
+	return b.String()
+}

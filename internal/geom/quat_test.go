@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randQuat(r *rand.Rand) Quat {
+	axis := randVec(r)
+	if axis == (Vec3{}) {
+		axis = V(0, 1, 0)
+	}
+	return AxisAngle(axis, r.Float64()*2*math.Pi-math.Pi)
+}
+
+func TestQuatIdentity(t *testing.T) {
+	q := QuatIdent()
+	v := V(1, 2, 3)
+	if got := q.Rotate(v); !got.ApproxEq(v, eps) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestAxisAngle90(t *testing.T) {
+	q := AxisAngle(V(0, 1, 0), math.Pi/2) // 90° yaw
+	// +Z forward rotates to +X under yaw about Y.
+	if got := q.Rotate(V(0, 0, 1)); !got.ApproxEq(V(1, 0, 0), 1e-12) {
+		t.Errorf("yaw90 rotate Z = %v, want X", got)
+	}
+	if got := q.Forward(); !got.ApproxEq(V(1, 0, 0), 1e-12) {
+		t.Errorf("Forward = %v", got)
+	}
+}
+
+func TestAxisAngleZeroAxis(t *testing.T) {
+	if got := AxisAngle(Vec3{}, 1.5); got != QuatIdent() {
+		t.Errorf("zero axis = %v, want identity", got)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		q1, q2 := randQuat(r), randQuat(r)
+		v := randVec(r)
+		want := q1.Rotate(q2.Rotate(v))
+		got := q1.Mul(q2).Rotate(v)
+		if !got.ApproxEq(want, 1e-9) {
+			t.Fatalf("composition mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		q := randQuat(r)
+		v := randVec(r)
+		if got := q.Conj().Rotate(q.Rotate(v)); !got.ApproxEq(v, 1e-9) {
+			t.Fatalf("conj inverse mismatch: %v vs %v", got, v)
+		}
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		q := randQuat(r)
+		v := randVec(r)
+		if math.Abs(q.Rotate(v).Len()-v.Len()) > 1e-9 {
+			t.Fatalf("rotation changed length: %v -> %v", v.Len(), q.Rotate(v).Len())
+		}
+	}
+}
+
+func TestEulerRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		yaw := r.Float64()*2*math.Pi - math.Pi
+		pitch := r.Float64()*2.8 - 1.4 // avoid gimbal lock
+		roll := r.Float64()*2*math.Pi - math.Pi
+		q := FromEuler(yaw, pitch, roll)
+		y2, p2, r2 := q.Euler()
+		q2 := FromEuler(y2, p2, r2)
+		// Compare rotations, not angle triples (angles can alias).
+		if a := q.AngleTo(q2); a > 1e-6 {
+			t.Fatalf("euler round trip angle err %v for (%v,%v,%v)", a, yaw, pitch, roll)
+		}
+	}
+}
+
+func TestSlerpEndpoints(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		a, b := randQuat(r), randQuat(r)
+		if g := a.Slerp(b, 0); a.AngleTo(g) > 1e-6 {
+			t.Fatalf("slerp(0) != a")
+		}
+		if g := a.Slerp(b, 1); b.AngleTo(g) > 1e-6 {
+			t.Fatalf("slerp(1) != b")
+		}
+		// Midpoint is unit length.
+		if m := a.Slerp(b, 0.5); math.Abs(m.Len()-1) > 1e-9 {
+			t.Fatalf("slerp mid not unit: %v", m.Len())
+		}
+	}
+}
+
+func TestSlerpHalfAngle(t *testing.T) {
+	a := QuatIdent()
+	b := AxisAngle(V(0, 1, 0), math.Pi/2)
+	m := a.Slerp(b, 0.5)
+	want := AxisAngle(V(0, 1, 0), math.Pi/4)
+	if m.AngleTo(want) > 1e-9 {
+		t.Errorf("slerp half = %v, want %v", m, want)
+	}
+}
+
+func TestLookRotation(t *testing.T) {
+	dir := V(1, 0, 1).Norm()
+	q := LookRotation(dir, V(0, 1, 0))
+	if got := q.Forward(); !got.ApproxEq(dir, 1e-9) {
+		t.Errorf("LookRotation forward = %v, want %v", got, dir)
+	}
+	if up := q.Up(); up.Dot(V(0, 1, 0)) < 0.7 {
+		t.Errorf("LookRotation up drifted: %v", up)
+	}
+	// Degenerate: looking straight up.
+	q2 := LookRotation(V(0, 1, 0), V(0, 1, 0))
+	if got := q2.Forward(); !got.ApproxEq(V(0, 1, 0), 1e-6) {
+		t.Errorf("LookRotation straight up forward = %v", got)
+	}
+	// Zero direction falls back to identity.
+	if q3 := LookRotation(Vec3{}, V(0, 1, 0)); q3 != QuatIdent() {
+		t.Errorf("LookRotation zero dir = %v", q3)
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	a := QuatIdent()
+	b := AxisAngle(V(1, 0, 0), 1.0)
+	if got := a.AngleTo(b); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("AngleTo = %v, want 1", got)
+	}
+	if got := a.AngleTo(a); got > 1e-9 {
+		t.Errorf("AngleTo self = %v", got)
+	}
+}
+
+func TestQuatNormZero(t *testing.T) {
+	if got := (Quat{}).Norm(); got != QuatIdent() {
+		t.Errorf("zero quat norm = %v, want identity", got)
+	}
+}
+
+func TestLookRotationOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		dir := randVec(r)
+		if dir.Len() < 1e-6 {
+			continue
+		}
+		q := LookRotation(dir, V(0, 1, 0))
+		f, u, rt := q.Forward(), q.Up(), q.Right()
+		if math.Abs(f.Dot(u)) > 1e-8 || math.Abs(f.Dot(rt)) > 1e-8 || math.Abs(u.Dot(rt)) > 1e-8 {
+			t.Fatalf("basis not orthogonal for dir %v", dir)
+		}
+	}
+}

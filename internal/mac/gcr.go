@@ -1,0 +1,185 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+)
+
+// GCR models 802.11aa Groupcast with Retries — the MAC mechanism that
+// makes multicast reliable. The paper's multicast rate rule ("the lowest
+// achievable MCS among all users … guarantees a reliable multicast")
+// picks the MCS; GCR quantifies the residual retransmission cost when
+// members still sit close to that MCS's sensitivity. Two standardized
+// modes are modeled:
+//
+//   - Unsolicited Retries (GCR-UR): every groupcast frame is repeated a
+//     fixed R extra times, costing a fixed (R+1)× airtime.
+//   - Block Ack (GCR-BA): the AP polls members for block acks and
+//     retransmits only lost frames until every member has each frame (or
+//     the retry limit hits).
+type GCR struct {
+	// Mode selects the retry policy.
+	Mode GCRMode
+	// UnsolicitedRetries is R for GCR-UR.
+	UnsolicitedRetries int
+	// RetryLimit bounds GCR-BA retransmissions per frame.
+	RetryLimit int
+	// BAOverheadFrac is the block-ack-request/response airtime tax of
+	// GCR-BA (fraction of payload airtime).
+	BAOverheadFrac float64
+}
+
+// GCRMode selects the retry policy.
+type GCRMode int
+
+// The standardized policies.
+const (
+	// GCROff disables retries (legacy groupcast: send once, hope).
+	GCROff GCRMode = iota
+	// GCRUnsolicited repeats every frame a fixed number of times.
+	GCRUnsolicited
+	// GCRBlockAck retransmits only what some member lost.
+	GCRBlockAck
+)
+
+// String implements fmt.Stringer.
+func (m GCRMode) String() string {
+	switch m {
+	case GCROff:
+		return "off"
+	case GCRUnsolicited:
+		return "gcr-ur"
+	case GCRBlockAck:
+		return "gcr-ba"
+	default:
+		return fmt.Sprintf("GCRMode(%d)", int(m))
+	}
+}
+
+// DefaultGCR returns the GCR-BA configuration used by the experiments.
+func DefaultGCR() GCR {
+	return GCR{Mode: GCRBlockAck, RetryLimit: 7, BAOverheadFrac: 0.04}
+}
+
+// PER returns the frame error rate of an 802.11ad link operating with
+// the given RSS margin (dB) above the selected MCS's sensitivity. The
+// curve is the usual waterfall: ~10% at zero margin (sensitivity is
+// specified near 1–10% PER for large PSDUs), a decade per ~2.5 dB, and
+// saturating at 90% below sensitivity.
+func PER(marginDB float64) float64 {
+	p := 0.1 * math.Pow(10, -marginDB/2.5)
+	if p > 0.9 {
+		return 0.9
+	}
+	if p < 1e-6 {
+		return 1e-6
+	}
+	return p
+}
+
+// groupLossProb returns the probability that at least one of the members
+// (with the given per-member frame error rates) misses a transmission.
+func groupLossProb(pers []float64) float64 {
+	ok := 1.0
+	for _, p := range pers {
+		ok *= 1 - p
+	}
+	return 1 - ok
+}
+
+// ExpectedTx returns the expected number of transmissions per groupcast
+// frame for the given per-member PERs, including the policy's fixed
+// overheads, expressed as an airtime multiplier (≥ 1).
+func (g GCR) ExpectedTx(pers []float64) float64 {
+	if len(pers) == 0 {
+		return 1
+	}
+	switch g.Mode {
+	case GCRUnsolicited:
+		r := g.UnsolicitedRetries
+		if r < 0 {
+			r = 0
+		}
+		return float64(1 + r)
+	case GCRBlockAck:
+		// Per attempt t (1-indexed), the frame still needs transmission
+		// if some member has lost all previous attempts. Members fail
+		// independently; member i still lacks the frame after t attempts
+		// with probability per_i^t.
+		limit := g.RetryLimit
+		if limit <= 0 {
+			limit = 7
+		}
+		expected := 0.0
+		for t := 0; t <= limit; t++ {
+			// Probability attempt t+1 is needed = P(somebody lacks the
+			// frame after t attempts).
+			need := 0.0
+			{
+				allHave := 1.0
+				for _, p := range pers {
+					allHave *= 1 - math.Pow(p, float64(t))
+				}
+				need = 1 - allHave
+			}
+			if t == 0 {
+				need = 1 // first transmission always happens
+			}
+			expected += need
+			if need < 1e-9 {
+				break
+			}
+		}
+		return expected * (1 + g.BAOverheadFrac)
+	default:
+		return 1
+	}
+}
+
+// ReliableMulticastRate converts a PHY-selected multicast rate into the
+// effective reliable rate after GCR retransmissions, given each member's
+// RSS margin above the chosen MCS's sensitivity.
+func (g GCR) ReliableMulticastRate(rateMbps float64, marginsDB []float64) float64 {
+	if rateMbps <= 0 {
+		return 0
+	}
+	pers := make([]float64, len(marginsDB))
+	for i, m := range marginsDB {
+		pers[i] = PER(m)
+	}
+	return rateMbps / g.ExpectedTx(pers)
+}
+
+// ResidualLossProb returns the probability a groupcast frame is still
+// missing at some member after the policy finishes — the unreliability
+// the application sees (holes in the point cloud).
+func (g GCR) ResidualLossProb(marginsDB []float64) float64 {
+	pers := make([]float64, len(marginsDB))
+	for i, m := range marginsDB {
+		pers[i] = PER(m)
+	}
+	switch g.Mode {
+	case GCRUnsolicited:
+		r := g.UnsolicitedRetries
+		if r < 0 {
+			r = 0
+		}
+		each := make([]float64, len(pers))
+		for i, p := range pers {
+			each[i] = math.Pow(p, float64(r+1))
+		}
+		return groupLossProb(each)
+	case GCRBlockAck:
+		limit := g.RetryLimit
+		if limit <= 0 {
+			limit = 7
+		}
+		each := make([]float64, len(pers))
+		for i, p := range pers {
+			each[i] = math.Pow(p, float64(limit+1))
+		}
+		return groupLossProb(each)
+	default:
+		return groupLossProb(pers)
+	}
+}

@@ -1,0 +1,327 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+
+	"volcast/internal/geom"
+)
+
+// Room is the shoebox environment the ray tracer works in: axis-aligned
+// walls, floor and ceiling, each reflecting 60 GHz energy with a loss.
+type Room struct {
+	// Bounds is the interior volume.
+	Bounds geom.AABB
+	// WallLossDB is the reflection loss of walls/ceiling/floor at 60 GHz
+	// (typical painted drywall: 5–10 dB).
+	WallLossDB float64
+}
+
+// DefaultRoom returns the lab-sized room used by the experiments:
+// 10 m × 8 m footprint, 3 m ceiling.
+func DefaultRoom() Room {
+	return Room{
+		Bounds:     geom.NewAABB(geom.V(-5, 0, -4), geom.V(5, 3, 4)),
+		WallLossDB: 8,
+	}
+}
+
+// Body is a human blockage model: a vertical cylinder. mmWave links whose
+// path passes through a body suffer tens of dB of loss — the blockage
+// problem the paper's cross-layer mitigation targets.
+type Body struct {
+	// Center is the cylinder axis position at floor level.
+	Center geom.Vec3
+	// Radius is the cylinder radius (≈0.25 m for a torso).
+	Radius float64
+	// Height is the cylinder height (≈1.8 m).
+	Height float64
+}
+
+// DefaultBody returns a body at the given floor position with typical
+// human dimensions.
+func DefaultBody(at geom.Vec3) Body {
+	return Body{Center: geom.V(at.X, 0, at.Z), Radius: 0.25, Height: 1.8}
+}
+
+// BlocksSegment reports whether the segment from a to b passes through
+// the body cylinder.
+func (b Body) BlocksSegment(a, c geom.Vec3) bool {
+	// Work in 2D (XZ): distance from cylinder axis to the segment.
+	ax, az := a.X, a.Z
+	cx, cz := c.X, c.Z
+	px, pz := b.Center.X, b.Center.Z
+	dx, dz := cx-ax, cz-az
+	l2 := dx*dx + dz*dz
+	t := 0.0
+	if l2 > 0 {
+		t = ((px-ax)*dx + (pz-az)*dz) / l2
+		t = geom.Clamp(t, 0, 1)
+	}
+	qx, qz := ax+t*dx, az+t*dz
+	ddx, ddz := px-qx, pz-qz
+	if ddx*ddx+ddz*ddz > b.Radius*b.Radius {
+		return false
+	}
+	// Height check at the closest-approach parameter.
+	y := a.Y + t*(c.Y-a.Y)
+	return y >= 0 && y <= b.Height
+}
+
+// Path is one propagation path from TX to RX.
+type Path struct {
+	// Dir is the departure direction at the transmitter.
+	Dir geom.Vec3
+	// Length is the total path length in meters.
+	Length float64
+	// ExtraLossDB accumulates reflection and blockage losses.
+	ExtraLossDB float64
+	// Reflections counts wall bounces (0 = LOS).
+	Reflections int
+	// Blocked reports whether a body intersects the path.
+	Blocked bool
+}
+
+// Channel is the ray-traced propagation model: LOS plus first-order
+// reflections off the room's six surfaces, with human-body blockage.
+// It is the offline stand-in for the commercial Remcom simulator the
+// paper used for Fig. 3d.
+type Channel struct {
+	Room Room
+	// BodyLossDB is the penetration loss a blocked path suffers
+	// (measured human blockage at 60 GHz: 20–35 dB).
+	BodyLossDB float64
+	// Bodies are the current blockers.
+	Bodies []Body
+	// SecondOrder adds two-bounce reflections (wall→wall, wall→ceiling,
+	// …). They sit ~16 dB below LOS and matter mainly as a last-resort
+	// fallback when both the LOS and every first-order path are blocked.
+	SecondOrder bool
+}
+
+// NewChannel returns a channel model for the room with the standard
+// 25 dB body loss.
+func NewChannel(room Room) *Channel {
+	return &Channel{Room: room, BodyLossDB: 25}
+}
+
+// SetBodies replaces the blockage set (typically the other users'
+// positions each frame).
+func (ch *Channel) SetBodies(bodies []Body) { ch.Bodies = bodies }
+
+// Paths enumerates the propagation paths from tx to rx: the LOS path and
+// one image-method reflection per room surface. Paths whose reflection
+// point falls outside the surface are discarded.
+func (ch *Channel) Paths(tx, rx geom.Vec3) []Path {
+	out := make([]Path, 0, 7)
+	out = append(out, ch.finishPath(tx, rx, tx, rx, 0))
+
+	b := ch.Room.Bounds
+	// Image method: mirror RX across each of the six planes; the straight
+	// segment tx→mirror crosses the plane at the reflection point.
+	mirrors := []struct {
+		axis  int     // 0=X, 1=Y, 2=Z
+		coord float64 // plane coordinate
+	}{
+		{0, b.Min.X}, {0, b.Max.X},
+		{1, b.Min.Y}, {1, b.Max.Y},
+		{2, b.Min.Z}, {2, b.Max.Z},
+	}
+	for _, m := range mirrors {
+		img := rx
+		switch m.axis {
+		case 0:
+			img.X = 2*m.coord - rx.X
+		case 1:
+			img.Y = 2*m.coord - rx.Y
+		default:
+			img.Z = 2*m.coord - rx.Z
+		}
+		// Reflection point: where tx→img crosses the plane.
+		d := img.Sub(tx)
+		var denom, num float64
+		switch m.axis {
+		case 0:
+			denom, num = d.X, m.coord-tx.X
+		case 1:
+			denom, num = d.Y, m.coord-tx.Y
+		default:
+			denom, num = d.Z, m.coord-tx.Z
+		}
+		if math.Abs(denom) < 1e-12 {
+			continue
+		}
+		t := num / denom
+		if t <= 1e-6 || t >= 1-1e-6 {
+			continue
+		}
+		rp := tx.Add(d.Scale(t))
+		if !b.Expand(1e-9).Contains(rp) {
+			continue
+		}
+		p := ch.finishPath(tx, rp, rp, rx, 1)
+		p.ExtraLossDB += ch.Room.WallLossDB
+		p.Length = tx.Dist(rp) + rp.Dist(rx)
+		p.Dir = rp.Sub(tx).Norm()
+		out = append(out, p)
+	}
+	if ch.SecondOrder {
+		out = append(out, ch.secondOrderPaths(tx, rx, mirrors)...)
+	}
+	return out
+}
+
+// secondOrderPaths enumerates two-bounce image-method paths: mirror RX
+// across surface B, then treat the image as the target of a first-order
+// bounce off surface A. Only distinct-axis surface pairs are used (the
+// dominant double bounces in a shoebox room).
+func (ch *Channel) secondOrderPaths(tx, rx geom.Vec3, mirrors []struct {
+	axis  int
+	coord float64
+}) []Path {
+	b := ch.Room.Bounds
+	var out []Path
+	reflect := func(p geom.Vec3, axis int, coord float64) geom.Vec3 {
+		switch axis {
+		case 0:
+			p.X = 2*coord - p.X
+		case 1:
+			p.Y = 2*coord - p.Y
+		default:
+			p.Z = 2*coord - p.Z
+		}
+		return p
+	}
+	crossAt := func(a, c geom.Vec3, axis int, coord float64) (geom.Vec3, bool) {
+		d := c.Sub(a)
+		var denom, num float64
+		switch axis {
+		case 0:
+			denom, num = d.X, coord-a.X
+		case 1:
+			denom, num = d.Y, coord-a.Y
+		default:
+			denom, num = d.Z, coord-a.Z
+		}
+		if math.Abs(denom) < 1e-12 {
+			return geom.Vec3{}, false
+		}
+		t := num / denom
+		if t <= 1e-6 || t >= 1-1e-6 {
+			return geom.Vec3{}, false
+		}
+		p := a.Add(d.Scale(t))
+		if !b.Expand(1e-9).Contains(p) {
+			return geom.Vec3{}, false
+		}
+		return p, true
+	}
+	for _, mA := range mirrors {
+		for _, mB := range mirrors {
+			if mA.axis == mB.axis {
+				continue
+			}
+			// Double image: rx mirrored across B then across A.
+			img := reflect(reflect(rx, mB.axis, mB.coord), mA.axis, mA.coord)
+			// First bounce point on A along tx→img.
+			rpA, ok := crossAt(tx, img, mA.axis, mA.coord)
+			if !ok {
+				continue
+			}
+			// Second bounce point on B along rpA→(rx mirrored across B).
+			imgB := reflect(rx, mB.axis, mB.coord)
+			rpB, ok := crossAt(rpA, imgB, mB.axis, mB.coord)
+			if !ok {
+				continue
+			}
+			p := Path{
+				Dir:         rpA.Sub(tx).Norm(),
+				Length:      tx.Dist(rpA) + rpA.Dist(rpB) + rpB.Dist(rx),
+				Reflections: 2,
+				ExtraLossDB: 2 * ch.Room.WallLossDB,
+			}
+			for _, body := range ch.Bodies {
+				if body.BlocksSegment(tx, rpA) || body.BlocksSegment(rpA, rpB) || body.BlocksSegment(rpB, rx) {
+					p.Blocked = true
+					p.ExtraLossDB += ch.BodyLossDB
+					break
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// finishPath builds a path for the (possibly two-segment) route and
+// applies blockage to it.
+func (ch *Channel) finishPath(txSeg1a, txSeg1b, seg2a, seg2b geom.Vec3, refl int) Path {
+	p := Path{
+		Dir:         txSeg1b.Sub(txSeg1a).Norm(),
+		Length:      txSeg1a.Dist(txSeg1b),
+		Reflections: refl,
+	}
+	if refl == 0 {
+		p.Length = txSeg1a.Dist(seg2b)
+	}
+	for _, body := range ch.Bodies {
+		blocked := body.BlocksSegment(txSeg1a, txSeg1b)
+		if !blocked && refl > 0 {
+			blocked = body.BlocksSegment(seg2a, seg2b)
+		}
+		if blocked {
+			p.Blocked = true
+			p.ExtraLossDB += ch.BodyLossDB
+			break
+		}
+	}
+	return p
+}
+
+// FSPL returns the 60 GHz free-space path loss in dB for distance d.
+func FSPL(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	return 20 * math.Log10(4*math.Pi*d/Wavelength())
+}
+
+// Fading is a temporal small-scale fading process: an Ornstein-Uhlenbeck
+// excursion in dB applied on top of the deterministic ray-traced RSS,
+// modelling the residual fluctuation measured on static 60 GHz links
+// (breathing, small reflector motion). It is deterministic given its
+// seed and is stepped explicitly so simulations stay reproducible.
+type Fading struct {
+	// StdDB is the stationary standard deviation of the excursion.
+	StdDB float64
+	// TauS is the correlation time constant in seconds.
+	TauS float64
+
+	state float64
+	rng   *rand.Rand
+}
+
+// NewFading returns a fading process with typical indoor 60 GHz numbers
+// (σ = 1.5 dB, τ = 0.5 s).
+func NewFading(seed int64) *Fading {
+	return &Fading{StdDB: 1.5, TauS: 0.5, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step advances the process by dt seconds and returns the current
+// excursion in dB.
+func (f *Fading) Step(dt float64) float64 {
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(1))
+	}
+	tau := f.TauS
+	if tau <= 0 {
+		tau = 0.5
+	}
+	theta := 1 / tau
+	sigma := f.StdDB * math.Sqrt(2*theta)
+	f.state += -theta*f.state*dt + sigma*math.Sqrt(dt)*f.rng.NormFloat64()
+	return f.state
+}
+
+// OffsetDB returns the current excursion without advancing time.
+func (f *Fading) OffsetDB() float64 { return f.state }

@@ -1,0 +1,109 @@
+package phy
+
+import (
+	"math"
+
+	"volcast/internal/geom"
+)
+
+// LinkBudget holds the fixed terms of the 60 GHz link equation. The
+// defaults are calibrated so that trace-scale viewing positions (1–5 m)
+// with the default codebook land in the paper's measured RSS band
+// (−78…−54 dBm, Fig. 3b/3d).
+type LinkBudget struct {
+	// TxPowerDBm is the conducted transmit power fed to the array.
+	TxPowerDBm float64
+	// RxGainDBi is the client's quasi-omni receive gain.
+	RxGainDBi float64
+	// NoiseFloorDBm is thermal noise + noise figure over the 1.76 GHz
+	// 802.11ad channel (≈ −174 + 10·log10(1.76e9) + 7).
+	NoiseFloorDBm float64
+}
+
+// DefaultLinkBudget returns the calibrated budget.
+func DefaultLinkBudget() LinkBudget {
+	return LinkBudget{TxPowerDBm: 8, RxGainDBi: 0, NoiseFloorDBm: -74.5}
+}
+
+// Radio bundles an array, a channel model and a link budget: everything
+// needed to predict the RSS a client at some position sees for a given
+// transmit AWV.
+type Radio struct {
+	Array   *Array
+	Channel *Channel
+	Budget  LinkBudget
+}
+
+// NewRadio assembles a radio with the default budget.
+func NewRadio(a *Array, ch *Channel) *Radio {
+	return &Radio{Array: a, Channel: ch, Budget: DefaultLinkBudget()}
+}
+
+// RSS returns the received signal strength (dBm) at rx for transmit
+// weights w, summing power over all propagation paths (LOS + first-order
+// reflections), with blockage applied.
+func (r *Radio) RSS(w AWV, rx geom.Vec3) float64 {
+	paths := r.Channel.Paths(r.Array.Pos, rx)
+	var linear float64
+	for _, p := range paths {
+		g := r.Array.GainDBi(w, p.Dir)
+		dbm := r.Budget.TxPowerDBm + g + r.Budget.RxGainDBi - FSPL(p.Length) - p.ExtraLossDB
+		linear += math.Pow(10, dbm/10)
+	}
+	if linear <= 0 {
+		return -200
+	}
+	return 10 * math.Log10(linear)
+}
+
+// RSSLOSOnly is RSS restricted to the line-of-sight path — used to show
+// how much the reflection paths contribute under blockage.
+func (r *Radio) RSSLOSOnly(w AWV, rx geom.Vec3) float64 {
+	paths := r.Channel.Paths(r.Array.Pos, rx)
+	for _, p := range paths {
+		if p.Reflections == 0 {
+			dbm := r.Budget.TxPowerDBm + r.Array.GainDBi(w, p.Dir) + r.Budget.RxGainDBi -
+				FSPL(p.Length) - p.ExtraLossDB
+			return dbm
+		}
+	}
+	return -200
+}
+
+// SweepBestSector performs a sector-level sweep: it returns the codebook
+// sector delivering the highest actual RSS at rx (through whatever paths
+// exist, including reflections around a blocked LOS) and that RSS. This
+// is what 802.11ad SLS training measures, and it is why real links
+// survive blockage by falling back to reflected paths.
+func (r *Radio) SweepBestSector(cb *Codebook, rx geom.Vec3) (Sector, float64) {
+	best := Sector{Index: -1}
+	bestRSS := math.Inf(-1)
+	for _, s := range cb.Sectors {
+		if v := r.RSS(s.W, rx); v > bestRSS {
+			best, bestRSS = s, v
+		}
+	}
+	return best, bestRSS
+}
+
+// SNR returns the signal-to-noise ratio in dB for the given RSS.
+func (r *Radio) SNR(rssDBm float64) float64 { return rssDBm - r.Budget.NoiseFloorDBm }
+
+// BestPathDir returns the departure direction of the strongest usable
+// path (lowest loss per meter), preferring unblocked paths. This is what
+// proactive beam switching steers to when the LOS is predicted blocked.
+func (r *Radio) BestPathDir(rx geom.Vec3) (geom.Vec3, bool) {
+	paths := r.Channel.Paths(r.Array.Pos, rx)
+	bestScore := math.Inf(-1)
+	var bestDir geom.Vec3
+	found := false
+	for _, p := range paths {
+		// Score = the RSS this path alone would deliver under an ideally
+		// steered beam (array gain is direction-independent at peak).
+		score := -FSPL(p.Length) - p.ExtraLossDB
+		if score > bestScore {
+			bestScore, bestDir, found = score, p.Dir, true
+		}
+	}
+	return bestDir, found
+}

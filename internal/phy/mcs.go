@@ -1,0 +1,85 @@
+package phy
+
+// MCS is one modulation-and-coding-scheme entry: the minimum RSS required
+// to sustain it and the PHY rate it delivers.
+type MCS struct {
+	// Index is the standard's MCS index.
+	Index int
+	// SensitivityDBm is the receiver sensitivity (minimum RSS).
+	SensitivityDBm float64
+	// RateMbps is the PHY data rate.
+	RateMbps float64
+}
+
+// AD_SC_MCS is the 802.11ad single-carrier MCS table (IEEE 802.11ad-2012
+// Table 21-3 receiver sensitivities, monotonized), the table the paper's
+// QCA9500 radios negotiate from. MCS1 at −68 dBm delivers 385 Mbps — the
+// paper's "RSS of −68 dBm … approximately 384 Mbps" anchor point.
+var AD_SC_MCS = []MCS{
+	{1, -68, 385},
+	{2, -66, 770},
+	{3, -65, 962.5},
+	{4, -64, 1155},
+	{5, -63, 1251.25},
+	{6, -62, 1540},
+	{7, -61, 1925},
+	{8, -60, 2310},
+	{9, -59, 2502.5},
+	{10, -55, 3080},
+	{11, -54, 3850},
+	{12, -53, 4620},
+}
+
+// AC_VHT80_MCS is a single-stream 802.11ac VHT 80 MHz rate table with
+// typical sensitivities, used by the 802.11ac baseline experiments.
+var AC_VHT80_MCS = []MCS{
+	{0, -82, 29.3},
+	{1, -79, 58.5},
+	{2, -77, 87.8},
+	{3, -74, 117},
+	{4, -70, 175.5},
+	{5, -66, 234},
+	{6, -65, 263.3},
+	{7, -64, 292.5},
+	{8, -59, 351},
+	{9, -57, 390},
+}
+
+// SelectMCS returns the highest entry of the table whose sensitivity the
+// RSS meets, and false when the link cannot sustain even the lowest MCS
+// (outage).
+func SelectMCS(table []MCS, rssDBm float64) (MCS, bool) {
+	var best MCS
+	ok := false
+	for _, m := range table {
+		if rssDBm >= m.SensitivityDBm {
+			best, ok = m, true
+		}
+	}
+	return best, ok
+}
+
+// RateForRSS is shorthand for the PHY rate at the given RSS, 0 on outage.
+func RateForRSS(table []MCS, rssDBm float64) float64 {
+	m, ok := SelectMCS(table, rssDBm)
+	if !ok {
+		return 0
+	}
+	return m.RateMbps
+}
+
+// CommonMCS returns the highest MCS every receiver in the group can
+// decode — the reliable multicast rate rule: the group rate is limited by
+// its weakest member.
+func CommonMCS(table []MCS, rssDBm []float64) (MCS, bool) {
+	if len(rssDBm) == 0 {
+		return MCS{}, false
+	}
+	min := rssDBm[0]
+	for _, v := range rssDBm[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return SelectMCS(table, min)
+}

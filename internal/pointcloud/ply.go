@@ -1,0 +1,263 @@
+package pointcloud
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"volcast/internal/geom"
+)
+
+// PLY interchange: the 8i voxelized point-cloud dataset the paper uses
+// ships as PLY files (ascii or binary_little_endian) with per-vertex
+// x/y/z float coordinates and red/green/blue uchar colors. ReadPLY
+// accepts exactly that family of files, so real captures can replace the
+// synthetic content; WritePLY emits files any point-cloud viewer opens.
+
+// plyProperty describes one vertex property in declaration order.
+type plyProperty struct {
+	name string
+	typ  string
+}
+
+func plyTypeSize(t string) (int, error) {
+	switch t {
+	case "char", "uchar", "int8", "uint8":
+		return 1, nil
+	case "short", "ushort", "int16", "uint16":
+		return 2, nil
+	case "int", "uint", "int32", "uint32", "float", "float32":
+		return 4, nil
+	case "double", "float64":
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("pointcloud: unsupported ply type %q", t)
+	}
+}
+
+// ReadPLY parses a point cloud from a PLY stream. Supported formats:
+// ascii 1.0 and binary_little_endian 1.0; vertices must carry x, y, z
+// (float or double) and may carry red, green, blue (uchar). Unknown
+// scalar properties are skipped; list properties and non-vertex elements
+// after the vertex data are ignored.
+func ReadPLY(r io.Reader) (*Cloud, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("pointcloud: ply: %w", err)
+	}
+	if strings.TrimSpace(line) != "ply" {
+		return nil, fmt.Errorf("pointcloud: not a ply file")
+	}
+	var (
+		format   string
+		nVerts   int
+		props    []plyProperty
+		inVertex bool
+	)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("pointcloud: ply header: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "comment", "obj_info":
+			continue
+		case "format":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("pointcloud: ply: bad format line")
+			}
+			format = fields[1]
+			if format != "ascii" && format != "binary_little_endian" {
+				return nil, fmt.Errorf("pointcloud: ply format %q unsupported", format)
+			}
+		case "element":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("pointcloud: ply: bad element line")
+			}
+			if fields[1] == "vertex" {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("pointcloud: ply: bad vertex count %q", fields[2])
+				}
+				nVerts = n
+				inVertex = true
+			} else {
+				inVertex = false
+			}
+		case "property":
+			if !inVertex {
+				continue
+			}
+			if len(fields) >= 2 && fields[1] == "list" {
+				return nil, fmt.Errorf("pointcloud: ply: list property on vertex unsupported")
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("pointcloud: ply: bad property line")
+			}
+			props = append(props, plyProperty{name: fields[2], typ: fields[1]})
+		case "end_header":
+			goto body
+		default:
+			// Unknown header keyword: be liberal.
+		}
+	}
+body:
+	if nVerts == 0 {
+		return &Cloud{}, nil
+	}
+	idx := map[string]int{}
+	for i, p := range props {
+		idx[p.name] = i
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if _, ok := idx[want]; !ok {
+			return nil, fmt.Errorf("pointcloud: ply: missing vertex property %q", want)
+		}
+	}
+	_, hasColor := idx["red"]
+
+	cloud := &Cloud{Points: make([]Point, 0, nVerts)}
+	if format == "ascii" {
+		sc := bufio.NewScanner(br)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for i := 0; i < nVerts; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("pointcloud: ply: truncated at vertex %d", i)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) < len(props) {
+				return nil, fmt.Errorf("pointcloud: ply: vertex %d has %d of %d fields", i, len(fields), len(props))
+			}
+			vals := make([]float64, len(props))
+			for j := range props {
+				v, err := strconv.ParseFloat(fields[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("pointcloud: ply: vertex %d field %d: %w", i, j, err)
+				}
+				vals[j] = v
+			}
+			cloud.Points = append(cloud.Points, pointFromVals(vals, idx, hasColor))
+		}
+		return cloud, nil
+	}
+
+	// binary_little_endian
+	sizes := make([]int, len(props))
+	rowSize := 0
+	for i, p := range props {
+		s, err := plyTypeSize(p.typ)
+		if err != nil {
+			return nil, err
+		}
+		sizes[i] = s
+		rowSize += s
+	}
+	row := make([]byte, rowSize)
+	for i := 0; i < nVerts; i++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("pointcloud: ply: truncated at vertex %d: %w", i, err)
+		}
+		vals := make([]float64, len(props))
+		off := 0
+		for j, p := range props {
+			vals[j] = decodeScalar(row[off:off+sizes[j]], p.typ)
+			off += sizes[j]
+		}
+		cloud.Points = append(cloud.Points, pointFromVals(vals, idx, hasColor))
+	}
+	return cloud, nil
+}
+
+func decodeScalar(b []byte, typ string) float64 {
+	switch typ {
+	case "char", "int8":
+		return float64(int8(b[0]))
+	case "uchar", "uint8":
+		return float64(b[0])
+	case "short", "int16":
+		return float64(int16(binary.LittleEndian.Uint16(b)))
+	case "ushort", "uint16":
+		return float64(binary.LittleEndian.Uint16(b))
+	case "int", "int32":
+		return float64(int32(binary.LittleEndian.Uint32(b)))
+	case "uint", "uint32":
+		return float64(binary.LittleEndian.Uint32(b))
+	case "float", "float32":
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+	case "double", "float64":
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	default:
+		return 0
+	}
+}
+
+func pointFromVals(vals []float64, idx map[string]int, hasColor bool) Point {
+	p := Point{Pos: clampFiniteVec(vals[idx["x"]], vals[idx["y"]], vals[idx["z"]])}
+	if hasColor {
+		p.R = clampU8(int(vals[idx["red"]]))
+		if g, ok := idx["green"]; ok {
+			p.G = clampU8(int(vals[g]))
+		}
+		if b, ok := idx["blue"]; ok {
+			p.B = clampU8(int(vals[b]))
+		}
+	} else {
+		p.R, p.G, p.B = 200, 200, 200
+	}
+	return p
+}
+
+// WritePLY serializes the cloud. Binary little-endian when binary is
+// set, ascii otherwise; always float32 positions + uchar colors, which
+// is what the 8i dataset and common viewers use.
+func WritePLY(w io.Writer, c *Cloud, binaryFmt bool) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	format := "ascii"
+	if binaryFmt {
+		format = "binary_little_endian"
+	}
+	fmt.Fprintf(bw, "ply\nformat %s 1.0\ncomment volcast export\n", format)
+	fmt.Fprintf(bw, "element vertex %d\n", c.Len())
+	fmt.Fprint(bw, "property float x\nproperty float y\nproperty float z\n")
+	fmt.Fprint(bw, "property uchar red\nproperty uchar green\nproperty uchar blue\n")
+	fmt.Fprint(bw, "end_header\n")
+	if binaryFmt {
+		var row [15]byte
+		for _, p := range c.Points {
+			binary.LittleEndian.PutUint32(row[0:], math.Float32bits(float32(p.Pos.X)))
+			binary.LittleEndian.PutUint32(row[4:], math.Float32bits(float32(p.Pos.Y)))
+			binary.LittleEndian.PutUint32(row[8:], math.Float32bits(float32(p.Pos.Z)))
+			row[12], row[13], row[14] = p.R, p.G, p.B
+			if _, err := bw.Write(row[:]); err != nil {
+				return fmt.Errorf("pointcloud: ply write: %w", err)
+			}
+		}
+	} else {
+		for _, p := range c.Points {
+			if _, err := fmt.Fprintf(bw, "%g %g %g %d %d %d\n",
+				float32(p.Pos.X), float32(p.Pos.Y), float32(p.Pos.Z), p.R, p.G, p.B); err != nil {
+				return fmt.Errorf("pointcloud: ply write: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func clampFiniteVec(x, y, z float64) geom.Vec3 {
+	cf := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+		return f
+	}
+	return geom.V(cf(x), cf(y), cf(z))
+}

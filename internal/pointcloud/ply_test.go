@@ -1,0 +1,161 @@
+package pointcloud
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"volcast/internal/geom"
+)
+
+func TestPLYRoundTripBinary(t *testing.T) {
+	orig := SynthFrame(SynthConfig{Frames: 1, FPS: 30, PointsPerFrame: 2_000, Seed: 9, Sway: 1}, 0)
+	var buf bytes.Buffer
+	if err := WritePLY(&buf, orig, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("read %d of %d points", got.Len(), orig.Len())
+	}
+	for i := range got.Points {
+		// float32 round trip: positions within 1e-6 relative.
+		if got.Points[i].Pos.Dist(orig.Points[i].Pos) > 1e-5 {
+			t.Fatalf("point %d drifted: %v vs %v", i, got.Points[i].Pos, orig.Points[i].Pos)
+		}
+		if got.Points[i].R != orig.Points[i].R ||
+			got.Points[i].G != orig.Points[i].G ||
+			got.Points[i].B != orig.Points[i].B {
+			t.Fatalf("point %d color mismatch", i)
+		}
+	}
+}
+
+func TestPLYRoundTripASCII(t *testing.T) {
+	orig := SynthFrame(SynthConfig{Frames: 1, FPS: 30, PointsPerFrame: 300, Seed: 9, Sway: 1}, 0)
+	var buf bytes.Buffer
+	if err := WritePLY(&buf, orig, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "ply\nformat ascii 1.0\n") {
+		t.Fatalf("header: %q", buf.String()[:40])
+	}
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("read %d of %d points", got.Len(), orig.Len())
+	}
+}
+
+func TestReadPLYForeignLayout(t *testing.T) {
+	// The 8i layout: x y z + red green blue, binary, plus an extra
+	// property (alpha) we must skip.
+	ply := "ply\n" +
+		"format ascii 1.0\n" +
+		"comment made elsewhere\n" +
+		"element vertex 2\n" +
+		"property double x\n" +
+		"property double y\n" +
+		"property double z\n" +
+		"property uchar red\n" +
+		"property uchar green\n" +
+		"property uchar blue\n" +
+		"property uchar alpha\n" +
+		"end_header\n" +
+		"1.5 2.5 3.5 10 20 30 255\n" +
+		"-1 0 4 0 0 0 255\n"
+	got, err := ReadPLY(strings.NewReader(ply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("%d points", got.Len())
+	}
+	if !got.Points[0].Pos.ApproxEq(geom.V(1.5, 2.5, 3.5), 1e-12) {
+		t.Errorf("pos = %v", got.Points[0].Pos)
+	}
+	if got.Points[0].R != 10 || got.Points[0].G != 20 || got.Points[0].B != 30 {
+		t.Errorf("color = %v", got.Points[0])
+	}
+}
+
+func TestReadPLYNoColor(t *testing.T) {
+	ply := "ply\nformat ascii 1.0\nelement vertex 1\n" +
+		"property float x\nproperty float y\nproperty float z\nend_header\n" +
+		"0 1 2\n"
+	got, err := ReadPLY(strings.NewReader(ply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Points[0].R == 0 {
+		t.Error("colorless vertex not given a default color")
+	}
+}
+
+func TestReadPLYErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not ply", "solid\n"},
+		{"bad format", "ply\nformat big_endian 1.0\nend_header\n"},
+		{"missing z", "ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nend_header\n0 0\n"},
+		{"list property", "ply\nformat ascii 1.0\nelement vertex 1\nproperty list uchar int vertex_indices\nend_header\n"},
+		{"bad count", "ply\nformat ascii 1.0\nelement vertex NaNcount\nend_header\n"},
+		{"truncated ascii", "ply\nformat ascii 1.0\nelement vertex 5\nproperty float x\nproperty float y\nproperty float z\nend_header\n0 0 0\n"},
+		{"bad field", "ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nproperty float z\nend_header\na b c\n"},
+		{"unsupported type", "ply\nformat binary_little_endian 1.0\nelement vertex 1\nproperty quad x\nproperty float y\nproperty float z\nend_header\n"},
+		{"truncated binary", "ply\nformat binary_little_endian 1.0\nelement vertex 2\nproperty float x\nproperty float y\nproperty float z\nend_header\n\x00\x00\x00\x00"},
+	}
+	for _, c := range cases {
+		if _, err := ReadPLY(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadPLYEmptyVertexElement(t *testing.T) {
+	ply := "ply\nformat ascii 1.0\nelement vertex 0\nend_header\n"
+	got, err := ReadPLY(strings.NewReader(ply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("%d points", got.Len())
+	}
+}
+
+func TestReadPLYBinaryMixedTypes(t *testing.T) {
+	// short coordinates (voxel grids sometimes ship integer positions).
+	var buf bytes.Buffer
+	buf.WriteString("ply\nformat binary_little_endian 1.0\nelement vertex 1\n" +
+		"property short x\nproperty short y\nproperty short z\n" +
+		"property uchar red\nproperty uchar green\nproperty uchar blue\nend_header\n")
+	buf.Write([]byte{7, 0, 253, 255, 1, 0, 9, 8, 7}) // x=7, y=-3, z=1
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Points[0].Pos.ApproxEq(geom.V(7, -3, 1), 1e-12) {
+		t.Errorf("pos = %v", got.Points[0].Pos)
+	}
+	if got.Points[0].R != 9 {
+		t.Errorf("r = %d", got.Points[0].R)
+	}
+}
+
+func BenchmarkWritePLYBinary(b *testing.B) {
+	c := SynthFrame(SynthConfig{Frames: 1, FPS: 30, PointsPerFrame: 50_000, Seed: 1, Sway: 1}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WritePLY(&buf, c, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

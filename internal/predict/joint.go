@@ -1,0 +1,183 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"volcast/internal/geom"
+	"volcast/internal/phy"
+)
+
+// Joint predicts all users of a session together (paper §4.1): it wraps a
+// per-user base predictor and then applies interaction corrections that a
+// per-user model cannot see:
+//
+//   - collision damping: two users predicted to converge below a social
+//     distance will not actually walk through each other — their predicted
+//     translation is damped;
+//   - occlusion sidestep: a user whose predicted view of the content is
+//     blocked by another user tends to step sideways, so the predicted
+//     position is nudged laterally.
+type Joint struct {
+	// Users holds one base predictor per user.
+	Users []Predictor
+	// SocialDist is the minimum comfortable inter-user distance (m).
+	SocialDist float64
+	// Content is the point users watch (for the occlusion correction).
+	Content geom.Vec3
+	// BodyRadius is the occluder radius used for the sidestep rule.
+	BodyRadius float64
+
+	lastPoses []geom.Pose
+	havePoses bool
+}
+
+// NewJoint wraps base predictors (one per user).
+func NewJoint(users []Predictor, content geom.Vec3) *Joint {
+	return &Joint{
+		Users:      users,
+		SocialDist: 0.7,
+		Content:    content,
+		BodyRadius: 0.25,
+	}
+}
+
+// Observe feeds one synchronized frame of poses (len must equal Users).
+func (j *Joint) Observe(poses []geom.Pose) error {
+	if len(poses) != len(j.Users) {
+		return fmt.Errorf("predict: %d poses for %d users", len(poses), len(j.Users))
+	}
+	for i, p := range poses {
+		j.Users[i].Observe(p)
+	}
+	j.lastPoses = append(j.lastPoses[:0], poses...)
+	j.havePoses = true
+	return nil
+}
+
+// PredictAll returns the jointly corrected predicted poses at the horizon.
+func (j *Joint) PredictAll(horizon float64) []geom.Pose {
+	out := make([]geom.Pose, len(j.Users))
+	for i, p := range j.Users {
+		out[i] = p.Predict(horizon)
+	}
+	if !j.havePoses {
+		return out
+	}
+	// Collision damping: people stop at the social distance instead of
+	// walking through each other. For each violating pair, walk the pair
+	// back along their predicted translations to the latest fraction of
+	// the step at which the distance is still respected.
+	for a := 0; a < len(out); a++ {
+		for b := a + 1; b < len(out); b++ {
+			if out[a].Pos.Dist(out[b].Pos) >= j.SocialDist {
+				continue
+			}
+			if j.lastPoses[a].Pos.Dist(j.lastPoses[b].Pos) < j.SocialDist {
+				continue // already violating before prediction; leave as-is
+			}
+			const steps = 32
+			for s := steps - 1; s >= 0; s-- {
+				t := float64(s) / steps
+				pa := j.lastPoses[a].Pos.Lerp(out[a].Pos, t)
+				pb := j.lastPoses[b].Pos.Lerp(out[b].Pos, t)
+				if pa.Dist(pb) >= j.SocialDist || s == 0 {
+					out[a].Pos, out[b].Pos = pa, pb
+					break
+				}
+			}
+		}
+	}
+	// Occlusion sidestep: if user b stands between user a and the
+	// content, nudge a's prediction sideways (perpendicular to the view
+	// ray, away from the occluder).
+	for a := range out {
+		view := j.Content.Sub(out[a].Pos)
+		vl := view.Len()
+		if vl < 1e-6 {
+			continue
+		}
+		vn := view.Scale(1 / vl)
+		for b := range out {
+			if a == b {
+				continue
+			}
+			rel := out[b].Pos.Sub(out[a].Pos)
+			t := rel.Dot(vn)
+			if t <= 0 || t >= vl {
+				continue // not between
+			}
+			perp := rel.Sub(vn.Scale(t))
+			perpDist := perp.Len()
+			if perpDist >= 2*j.BodyRadius {
+				continue
+			}
+			// Sidestep direction: away from the occluder, horizontal.
+			side := perp
+			if perpDist < 1e-6 {
+				side = vn.Cross(geom.V(0, 1, 0))
+			}
+			side.Y = 0
+			side = side.Norm().Neg() // away from occluder's offset
+			amount := (2*j.BodyRadius - perpDist) * 0.5
+			out[a].Pos = out[a].Pos.Add(side.Scale(amount))
+		}
+	}
+	return out
+}
+
+// Blockage is one predicted link blockage: the AP→user link of User is
+// expected to be blocked by Blocker at the prediction horizon.
+type Blockage struct {
+	User    int
+	Blocker int
+}
+
+// ForecastBlockages checks every AP→user line of sight against every
+// other user's predicted body position, returning the expected blockages.
+// This is the cross-layer hook: the output drives proactive prefetching
+// and reflection-path beam switching before the outage happens.
+func ForecastBlockages(ap geom.Vec3, predicted []geom.Pose) []Blockage {
+	var out []Blockage
+	for u, pu := range predicted {
+		for b, pb := range predicted {
+			if u == b {
+				continue
+			}
+			body := phy.DefaultBody(geom.V(pb.Pos.X, 0, pb.Pos.Z))
+			if body.BlocksSegment(ap, pu.Pos) {
+				out = append(out, Blockage{User: u, Blocker: b})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Eval reports prediction accuracy over a pose sequence: mean position
+// error (m) and mean view-direction angular error (rad) at the horizon.
+func Eval(p Predictor, poses []geom.Pose, hz int, horizon float64) (posErr, angErr float64) {
+	hs := int(horizon*float64(hz) + 0.5)
+	if hs < 1 {
+		hs = 1
+	}
+	n := 0
+	p.Reset()
+	for i, pose := range poses {
+		p.Observe(pose)
+		j := i + hs
+		if j >= len(poses) {
+			break
+		}
+		pred := p.Predict(horizon)
+		truth := poses[j]
+		posErr += pred.Pos.Dist(truth.Pos)
+		cos := geom.Clamp(pred.Rot.Forward().Dot(truth.Rot.Forward()), -1, 1)
+		angErr += math.Acos(cos)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return posErr / float64(n), angErr / float64(n)
+}

@@ -1,0 +1,95 @@
+package predict
+
+import (
+	"fmt"
+
+	"volcast/internal/geom"
+)
+
+// Kalman is a constant-velocity Kalman filter predictor: each of the six
+// pose scalars (position + forward direction) is tracked by an
+// independent 2-state [value, velocity] filter. Compared to the sliding
+// window regression it adapts its trust in the measurements to the
+// innovation statistics instead of a fixed window, which makes it robust
+// to the mixed smooth-motion / gaze-snap behaviour of real viewport
+// traces.
+type Kalman struct {
+	hz float64
+	// process / measurement noise (per-axis, tuned for head motion).
+	qPos, qVel, r float64
+
+	init bool
+	// Per-dimension state: x = [value, velocity], covariance P (2x2,
+	// symmetric, stored as p00, p01, p11).
+	x   [6][2]float64
+	p00 [6]float64
+	p01 [6]float64
+	p11 [6]float64
+}
+
+// NewKalman returns a constant-velocity filter for samples at hz.
+func NewKalman(hz int) (*Kalman, error) {
+	if hz <= 0 {
+		return nil, fmt.Errorf("predict: invalid kalman hz %d", hz)
+	}
+	return &Kalman{
+		hz:   float64(hz),
+		qPos: 1e-4,
+		qVel: 0.5, // humans change velocity on ~second timescales
+		r:    1e-4,
+	}, nil
+}
+
+// Reset implements Predictor.
+func (k *Kalman) Reset() {
+	k.init = false
+	for d := 0; d < 6; d++ {
+		k.x[d] = [2]float64{}
+		k.p00[d], k.p01[d], k.p11[d] = 0, 0, 0
+	}
+}
+
+// Observe implements Predictor.
+func (k *Kalman) Observe(pose geom.Pose) {
+	z := poseVec(pose)
+	dt := 1 / k.hz
+	if !k.init {
+		for d := 0; d < 6; d++ {
+			k.x[d] = [2]float64{z[d], 0}
+			k.p00[d], k.p01[d], k.p11[d] = 1, 0, 1
+		}
+		k.init = true
+		return
+	}
+	for d := 0; d < 6; d++ {
+		// Predict: x' = F x with F = [[1 dt],[0 1]].
+		v := k.x[d][1]
+		pred := k.x[d][0] + v*dt
+		// P' = F P Fᵀ + Q.
+		p00 := k.p00[d] + dt*(2*k.p01[d]+dt*k.p11[d]) + k.qPos*dt
+		p01 := k.p01[d] + dt*k.p11[d]
+		p11 := k.p11[d] + k.qVel*dt
+		// Update with measurement z[d] (H = [1 0]).
+		innov := z[d] - pred
+		s := p00 + k.r
+		k0 := p00 / s
+		k1 := p01 / s
+		k.x[d][0] = pred + k0*innov
+		k.x[d][1] = v + k1*innov
+		k.p00[d] = (1 - k0) * p00
+		k.p01[d] = (1 - k0) * p01
+		k.p11[d] = p11 - k1*p01
+	}
+}
+
+// Predict implements Predictor.
+func (k *Kalman) Predict(horizon float64) geom.Pose {
+	if !k.init {
+		return geom.Pose{Rot: geom.QuatIdent()}
+	}
+	var out [6]float64
+	for d := 0; d < 6; d++ {
+		out[d] = k.x[d][0] + k.x[d][1]*horizon
+	}
+	return vecPose(out)
+}

@@ -1,0 +1,166 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"volcast/internal/geom"
+)
+
+// MLP is an online-trained multilayer perceptron predictor: input is the
+// window of per-sample pose deltas, output is the cumulative delta at a
+// fixed horizon. It trains continuously on its own observation stream
+// (each new sample provides a label for the window `horizonSamples` ago),
+// the setup prior 6DoF-prediction work uses on mobile hardware.
+type MLP struct {
+	hz      int
+	window  int
+	horizon int // label offset in samples
+	lr      float64
+
+	w1 [][]float64 // hidden × input
+	b1 []float64
+	w2 [][]float64 // output × hidden
+	b2 []float64
+
+	hist [][6]float64 // raw pose history (window + horizon + 1 needed)
+}
+
+// NewMLP builds an MLP predictor with the given hidden width, trained for
+// a fixed horizon (seconds). Weights are seeded deterministically.
+func NewMLP(hz, window, hidden int, horizon float64, learningRate float64, seed int64) (*MLP, error) {
+	if hz <= 0 || window < 2 || hidden < 1 || horizon <= 0 || learningRate <= 0 {
+		return nil, fmt.Errorf("predict: invalid MLP config")
+	}
+	hs := int(horizon*float64(hz) + 0.5)
+	if hs < 1 {
+		hs = 1
+	}
+	in := (window - 1) * 6
+	r := rand.New(rand.NewSource(seed))
+	m := &MLP{hz: hz, window: window, horizon: hs, lr: learningRate}
+	m.w1 = randMat(r, hidden, in, math.Sqrt(2/float64(in)))
+	m.b1 = make([]float64, hidden)
+	m.w2 = randMat(r, 6, hidden, math.Sqrt(2/float64(hidden)))
+	m.b2 = make([]float64, 6)
+	return m, nil
+}
+
+func randMat(r *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = r.NormFloat64() * scale
+		}
+	}
+	return m
+}
+
+// Reset implements Predictor.
+func (m *MLP) Reset() { m.hist = m.hist[:0] }
+
+// features builds the delta-window input ending at history index end
+// (inclusive); requires end-window+1 >= 0.
+func (m *MLP) features(end int) []float64 {
+	in := make([]float64, 0, (m.window-1)*6)
+	for i := end - m.window + 2; i <= end; i++ {
+		for d := 0; d < 6; d++ {
+			in = append(in, m.hist[i][d]-m.hist[i-1][d])
+		}
+	}
+	return in
+}
+
+// Observe implements Predictor: it appends the sample and, when a label
+// has matured, performs one SGD step.
+func (m *MLP) Observe(p geom.Pose) {
+	m.hist = append(m.hist, poseVec(p))
+	// Train: the window ending at index e predicts the delta to e+horizon.
+	e := len(m.hist) - 1 - m.horizon
+	if e-m.window+1 >= 0 {
+		x := m.features(e)
+		var y [6]float64
+		for d := 0; d < 6; d++ {
+			y[d] = m.hist[e+m.horizon][d] - m.hist[e][d]
+		}
+		m.sgd(x, y)
+	}
+	// Bound history.
+	maxKeep := m.window + m.horizon + 4
+	if len(m.hist) > maxKeep {
+		m.hist = m.hist[len(m.hist)-maxKeep:]
+	}
+}
+
+func (m *MLP) forward(x []float64) (h, out []float64) {
+	h = make([]float64, len(m.w1))
+	for i := range m.w1 {
+		s := m.b1[i]
+		for j, w := range m.w1[i] {
+			s += w * x[j]
+		}
+		h[i] = math.Tanh(s)
+	}
+	out = make([]float64, 6)
+	for i := range m.w2 {
+		s := m.b2[i]
+		for j, w := range m.w2[i] {
+			s += w * h[j]
+		}
+		out[i] = s
+	}
+	return h, out
+}
+
+func (m *MLP) sgd(x []float64, y [6]float64) {
+	h, out := m.forward(x)
+	// Output layer gradients (MSE loss).
+	dOut := make([]float64, 6)
+	for i := range dOut {
+		dOut[i] = out[i] - y[i]
+	}
+	// Hidden gradients.
+	dH := make([]float64, len(h))
+	for j := range h {
+		var s float64
+		for i := range m.w2 {
+			s += dOut[i] * m.w2[i][j]
+		}
+		dH[j] = s * (1 - h[j]*h[j])
+	}
+	for i := range m.w2 {
+		for j := range m.w2[i] {
+			m.w2[i][j] -= m.lr * dOut[i] * h[j]
+		}
+		m.b2[i] -= m.lr * dOut[i]
+	}
+	for i := range m.w1 {
+		for j := range m.w1[i] {
+			m.w1[i][j] -= m.lr * dH[i] * x[j]
+		}
+		m.b1[i] -= m.lr * dH[i]
+	}
+}
+
+// Predict implements Predictor. The network is trained for its fixed
+// horizon; other horizons are scaled linearly from it.
+func (m *MLP) Predict(horizon float64) geom.Pose {
+	n := len(m.hist)
+	if n == 0 {
+		return geom.Pose{Rot: geom.QuatIdent()}
+	}
+	last := m.hist[n-1]
+	if n < m.window {
+		return vecPose(last)
+	}
+	x := m.features(n - 1)
+	_, out := m.forward(x)
+	scale := horizon * float64(m.hz) / float64(m.horizon)
+	var v [6]float64
+	for d := 0; d < 6; d++ {
+		v[d] = last[d] + out[d]*scale
+	}
+	return vecPose(v)
+}

@@ -1,0 +1,135 @@
+// Package predict implements 6DoF viewport prediction (paper §4.1): the
+// per-user linear-regression and multilayer-perceptron predictors prior
+// work validated for single users, a joint multi-user predictor that
+// models user interaction (collision avoidance and view-occlusion
+// sidestepping), and the cross-layer blockage forecaster that turns
+// predicted user positions into predicted mmWave link blockages — the
+// input to proactive beam switching and prefetching.
+package predict
+
+import (
+	"fmt"
+
+	"volcast/internal/geom"
+)
+
+// Predictor consumes a stream of observed poses (at a fixed rate) and
+// extrapolates the pose at a future horizon.
+type Predictor interface {
+	// Observe appends one observed pose sample.
+	Observe(p geom.Pose)
+	// Predict returns the expected pose `horizon` seconds after the last
+	// observed sample.
+	Predict(horizon float64) geom.Pose
+	// Reset clears history.
+	Reset()
+}
+
+// poseVec flattens a pose into the 6 predicted scalars: position plus
+// forward direction (orientation is recovered with LookRotation, which is
+// robust at streaming horizons of 100–500 ms).
+func poseVec(p geom.Pose) [6]float64 {
+	f := p.Rot.Forward()
+	return [6]float64{p.Pos.X, p.Pos.Y, p.Pos.Z, f.X, f.Y, f.Z}
+}
+
+func vecPose(v [6]float64) geom.Pose {
+	dir := geom.V(v[3], v[4], v[5])
+	if dir.Len() < 1e-9 {
+		dir = geom.V(0, 0, 1)
+	}
+	return geom.Pose{
+		Pos: geom.V(v[0], v[1], v[2]),
+		Rot: geom.LookRotation(dir.Norm(), geom.V(0, 1, 0)),
+	}
+}
+
+// Static predicts "no motion": the last observed pose. It is the
+// baseline every real predictor must beat.
+type Static struct {
+	last geom.Pose
+	seen bool
+}
+
+// NewStatic returns a Static predictor.
+func NewStatic() *Static { return &Static{} }
+
+// Observe implements Predictor.
+func (s *Static) Observe(p geom.Pose) { s.last, s.seen = p, true }
+
+// Predict implements Predictor.
+func (s *Static) Predict(float64) geom.Pose {
+	if !s.seen {
+		return geom.Pose{Rot: geom.QuatIdent()}
+	}
+	return s.last
+}
+
+// Reset implements Predictor.
+func (s *Static) Reset() { *s = Static{} }
+
+// Linear is the least-squares linear-regression predictor over a sliding
+// window, the method ViVo validated for real-time 6DoF prediction: each
+// of the 6 pose scalars is fit with an ordinary least-squares line over
+// the window and extrapolated to the horizon.
+type Linear struct {
+	hz     int
+	window int
+	buf    [][6]float64
+}
+
+// NewLinear returns a linear predictor using `window` samples at `hz`.
+func NewLinear(hz, window int) (*Linear, error) {
+	if hz <= 0 || window < 2 {
+		return nil, fmt.Errorf("predict: invalid linear config hz=%d window=%d", hz, window)
+	}
+	return &Linear{hz: hz, window: window}, nil
+}
+
+// Observe implements Predictor.
+func (l *Linear) Observe(p geom.Pose) {
+	l.buf = append(l.buf, poseVec(p))
+	if len(l.buf) > l.window {
+		l.buf = l.buf[len(l.buf)-l.window:]
+	}
+}
+
+// Reset implements Predictor.
+func (l *Linear) Reset() { l.buf = l.buf[:0] }
+
+// Predict implements Predictor.
+func (l *Linear) Predict(horizon float64) geom.Pose {
+	n := len(l.buf)
+	if n == 0 {
+		return geom.Pose{Rot: geom.QuatIdent()}
+	}
+	if n == 1 {
+		return vecPose(l.buf[0])
+	}
+	// OLS fit per dimension over sample index x = 0..n-1, then evaluate
+	// at x = n-1 + horizon·hz.
+	xm := float64(n-1) / 2
+	var sxx float64
+	for i := 0; i < n; i++ {
+		d := float64(i) - xm
+		sxx += d * d
+	}
+	target := float64(n-1) + horizon*float64(l.hz)
+	var out [6]float64
+	for d := 0; d < 6; d++ {
+		var ym, sxy float64
+		for i := 0; i < n; i++ {
+			ym += l.buf[i][d]
+		}
+		ym /= float64(n)
+		for i := 0; i < n; i++ {
+			sxy += (float64(i) - xm) * (l.buf[i][d] - ym)
+		}
+		slope := 0.0
+		if sxx > 0 {
+			slope = sxy / sxx
+		}
+		out[d] = ym + slope*(target-xm)
+	}
+	return vecPose(out)
+}

@@ -1,0 +1,320 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"volcast/internal/geom"
+	"volcast/internal/trace"
+)
+
+// linearMotion returns poses moving at constant velocity, constant gaze.
+func linearMotion(n int, hz int, vel geom.Vec3) []geom.Pose {
+	out := make([]geom.Pose, n)
+	for i := range out {
+		t := float64(i) / float64(hz)
+		out[i] = geom.Pose{Pos: vel.Scale(t), Rot: geom.QuatIdent()}
+	}
+	return out
+}
+
+func TestLinearExactOnLinearMotion(t *testing.T) {
+	l, err := NewLinear(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := linearMotion(30, 30, geom.V(1, 0, 0.5))
+	for _, p := range poses {
+		l.Observe(p)
+	}
+	pred := l.Predict(0.5) // 15 samples ahead of sample 29
+	want := geom.V(1, 0, 0.5).Scale((29.0 + 15.0) / 30.0)
+	if !pred.Pos.ApproxEq(want, 1e-9) {
+		t.Errorf("Predict = %v, want %v", pred.Pos, want)
+	}
+}
+
+func TestLinearConfigValidation(t *testing.T) {
+	if _, err := NewLinear(0, 10); err == nil {
+		t.Error("hz=0 accepted")
+	}
+	if _, err := NewLinear(30, 1); err == nil {
+		t.Error("window=1 accepted")
+	}
+}
+
+func TestLinearFewSamples(t *testing.T) {
+	l, _ := NewLinear(30, 10)
+	// No samples: identity pose, no panic.
+	if got := l.Predict(0.1); got.Rot != geom.QuatIdent() {
+		t.Errorf("empty predict = %v", got)
+	}
+	l.Observe(geom.Pose{Pos: geom.V(1, 2, 3), Rot: geom.QuatIdent()})
+	if got := l.Predict(0.1); !got.Pos.ApproxEq(geom.V(1, 2, 3), 1e-9) {
+		t.Errorf("single-sample predict = %v", got)
+	}
+}
+
+func TestLinearReset(t *testing.T) {
+	l, _ := NewLinear(30, 5)
+	for _, p := range linearMotion(10, 30, geom.V(1, 0, 0)) {
+		l.Observe(p)
+	}
+	l.Reset()
+	if got := l.Predict(0.1); got.Pos != (geom.Vec3{}) {
+		t.Errorf("post-reset predict = %v", got)
+	}
+}
+
+func TestStaticBaseline(t *testing.T) {
+	s := NewStatic()
+	if got := s.Predict(1); got.Rot != geom.QuatIdent() {
+		t.Errorf("unseeded static = %v", got)
+	}
+	s.Observe(geom.Pose{Pos: geom.V(5, 0, 0), Rot: geom.QuatIdent()})
+	if got := s.Predict(10); got.Pos != geom.V(5, 0, 0) {
+		t.Errorf("static = %v", got)
+	}
+	s.Reset()
+	if got := s.Predict(1); got.Pos != (geom.Vec3{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestLinearBeatsStaticOnRealTraces(t *testing.T) {
+	study := trace.GenerateStudy(300, 5)
+	horizon := 0.25
+	better := 0
+	for _, tr := range study.Traces[:8] {
+		poses := make([]geom.Pose, tr.Len())
+		for i := range poses {
+			poses[i] = tr.PoseAt(i)
+		}
+		lin, _ := NewLinear(30, 20)
+		linPos, _ := Eval(lin, poses, 30, horizon)
+		stPos, _ := Eval(NewStatic(), poses, 30, horizon)
+		if linPos < stPos {
+			better++
+		}
+	}
+	if better < 6 {
+		t.Errorf("linear beat static on only %d/8 traces", better)
+	}
+}
+
+func TestMLPTrainsOnPattern(t *testing.T) {
+	// Constant-velocity motion: the MLP must learn the fixed delta and
+	// beat the static baseline clearly after enough samples.
+	m, err := NewMLP(30, 6, 8, 0.2, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := linearMotion(600, 30, geom.V(0.8, 0, -0.4))
+	for _, p := range poses {
+		m.Observe(p)
+	}
+	pred := m.Predict(0.2)
+	// Truth: 6 samples (0.2 s) past the last.
+	truth := geom.V(0.8, 0, -0.4).Scale((599.0 + 6.0) / 30.0)
+	errM := pred.Pos.Dist(truth)
+	static := poses[len(poses)-1].Pos.Dist(truth)
+	if errM > static*0.5 {
+		t.Errorf("MLP error %.4f not well below static %.4f", errM, static)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	if _, err := NewMLP(0, 6, 8, 0.2, 0.01, 1); err == nil {
+		t.Error("hz=0 accepted")
+	}
+	if _, err := NewMLP(30, 1, 8, 0.2, 0.01, 1); err == nil {
+		t.Error("window=1 accepted")
+	}
+	if _, err := NewMLP(30, 6, 0, 0.2, 0.01, 1); err == nil {
+		t.Error("hidden=0 accepted")
+	}
+	if _, err := NewMLP(30, 6, 8, 0, 0.01, 1); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+	if _, err := NewMLP(30, 6, 8, 0.2, 0, 1); err == nil {
+		t.Error("lr=0 accepted")
+	}
+}
+
+func TestMLPColdStart(t *testing.T) {
+	m, _ := NewMLP(30, 6, 8, 0.2, 0.01, 1)
+	if got := m.Predict(0.2); got.Rot != geom.QuatIdent() {
+		t.Errorf("cold predict = %v", got)
+	}
+	m.Observe(geom.Pose{Pos: geom.V(1, 0, 0), Rot: geom.QuatIdent()})
+	if got := m.Predict(0.2); !got.Pos.ApproxEq(geom.V(1, 0, 0), 1e-9) {
+		t.Errorf("warmup predict = %v", got)
+	}
+	m.Reset()
+	if got := m.Predict(0.2); got.Pos != (geom.Vec3{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestJointObserveValidation(t *testing.T) {
+	l1, _ := NewLinear(30, 5)
+	j := NewJoint([]Predictor{l1}, geom.Vec3{})
+	if err := j.Observe([]geom.Pose{{}, {}}); err == nil {
+		t.Error("mismatched pose count accepted")
+	}
+}
+
+func TestJointCollisionDamping(t *testing.T) {
+	// Two users walking straight at each other: raw linear prediction
+	// would put them closer than the social distance (or through each
+	// other); the joint predictor must keep them farther apart.
+	l1, _ := NewLinear(30, 8)
+	l2, _ := NewLinear(30, 8)
+	j := NewJoint([]Predictor{l1, l2}, geom.V(0, 1, 10))
+	for i := 0; i < 15; i++ {
+		t1 := float64(i) / 30
+		j.Observe([]geom.Pose{
+			{Pos: geom.V(-1+1.5*t1, 0, 0), Rot: geom.QuatIdent()},
+			{Pos: geom.V(1-1.5*t1, 0, 0), Rot: geom.QuatIdent()},
+		})
+	}
+	rawA := l1.Predict(0.4).Pos
+	rawB := l2.Predict(0.4).Pos
+	joint := j.PredictAll(0.4)
+	dRaw := rawA.Dist(rawB)
+	dJoint := joint[0].Pos.Dist(joint[1].Pos)
+	if dJoint < dRaw {
+		t.Errorf("joint prediction converged more than raw: %.3f < %.3f", dJoint, dRaw)
+	}
+	if dJoint < 0.3 {
+		t.Errorf("joint prediction still collides: %.3f m apart", dJoint)
+	}
+}
+
+func TestJointOcclusionSidestep(t *testing.T) {
+	// User 1 stands exactly between user 0 and the content: user 0's
+	// prediction must be nudged sideways.
+	l1, _ := NewLinear(30, 8)
+	l2, _ := NewLinear(30, 8)
+	content := geom.V(0, 1, 5)
+	j := NewJoint([]Predictor{l1, l2}, content)
+	for i := 0; i < 15; i++ {
+		j.Observe([]geom.Pose{
+			{Pos: geom.V(0, 1, 0), Rot: geom.QuatIdent()},
+			{Pos: geom.V(0.05, 1, 2), Rot: geom.QuatIdent()},
+		})
+	}
+	out := j.PredictAll(0.3)
+	if math.Abs(out[0].Pos.X) < 0.01 {
+		t.Errorf("occluded user not sidestepped: %v", out[0].Pos)
+	}
+	// The non-occluded user (nothing between them and content) stays.
+	if out[1].Pos.Dist(geom.V(0.05, 1, 2)) > 0.1 {
+		t.Errorf("occluder user moved: %v", out[1].Pos)
+	}
+}
+
+func TestForecastBlockages(t *testing.T) {
+	ap := geom.V(0, 2.5, -4)
+	poses := []geom.Pose{
+		{Pos: geom.V(0, 1.5, 2)},   // user 0: LOS passes near user 1
+		{Pos: geom.V(0, 1.5, 0.5)}, // user 1: stands between AP and user 0
+		{Pos: geom.V(3, 1.5, 0)},   // user 2: off to the side
+	}
+	got := ForecastBlockages(ap, poses)
+	foundU0 := false
+	for _, b := range got {
+		if b.User == 0 && b.Blocker == 1 {
+			foundU0 = true
+		}
+		if b.User == 2 {
+			t.Errorf("side user predicted blocked by %d", b.Blocker)
+		}
+	}
+	if !foundU0 {
+		t.Errorf("expected user 0 blocked by user 1, got %v", got)
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	l, _ := NewLinear(30, 5)
+	p, a := Eval(l, nil, 30, 0.2)
+	if p != 0 || a != 0 {
+		t.Errorf("Eval(nil) = %v, %v", p, a)
+	}
+}
+
+func BenchmarkLinearPredict(b *testing.B) {
+	l, _ := NewLinear(30, 10)
+	for _, p := range linearMotion(30, 30, geom.V(1, 0, 0)) {
+		l.Observe(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Predict(0.25)
+	}
+}
+
+func BenchmarkMLPObserve(b *testing.B) {
+	m, _ := NewMLP(30, 6, 16, 0.2, 0.01, 1)
+	poses := linearMotion(1000, 30, geom.V(0.5, 0, 0.2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(poses[i%len(poses)])
+	}
+}
+
+func TestKalmanTracksConstantVelocity(t *testing.T) {
+	k, err := NewKalman(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := linearMotion(120, 30, geom.V(1.2, 0, -0.6))
+	for _, p := range poses {
+		k.Observe(p)
+	}
+	pred := k.Predict(0.5)
+	truth := geom.V(1.2, 0, -0.6).Scale((119.0 + 15.0) / 30.0)
+	if d := pred.Pos.Dist(truth); d > 0.05 {
+		t.Errorf("kalman error %.3f m on constant velocity", d)
+	}
+}
+
+func TestKalmanValidationAndColdStart(t *testing.T) {
+	if _, err := NewKalman(0); err == nil {
+		t.Error("hz=0 accepted")
+	}
+	k, _ := NewKalman(30)
+	if got := k.Predict(0.2); got.Rot != geom.QuatIdent() {
+		t.Errorf("cold predict = %v", got)
+	}
+	k.Observe(geom.Pose{Pos: geom.V(2, 0, 1), Rot: geom.QuatIdent()})
+	if got := k.Predict(0.2); !got.Pos.ApproxEq(geom.V(2, 0, 1), 1e-9) {
+		t.Errorf("first-sample predict = %v", got)
+	}
+	k.Reset()
+	if got := k.Predict(0.2); got.Pos != (geom.Vec3{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestKalmanCompetitiveOnTraces(t *testing.T) {
+	study := trace.GenerateStudy(300, 5)
+	horizon := 0.25
+	notWorse := 0
+	for _, tr := range study.Traces[:8] {
+		poses := make([]geom.Pose, tr.Len())
+		for i := range poses {
+			poses[i] = tr.PoseAt(i)
+		}
+		k, _ := NewKalman(30)
+		kPos, _ := Eval(k, poses, 30, horizon)
+		stPos, _ := Eval(NewStatic(), poses, 30, horizon)
+		if kPos <= stPos*1.15 {
+			notWorse++
+		}
+	}
+	if notWorse < 6 {
+		t.Errorf("kalman competitive on only %d/8 traces", notWorse)
+	}
+}

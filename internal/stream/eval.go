@@ -1,0 +1,192 @@
+// Package stream is the end-to-end multi-user streaming engine: it binds
+// the content store (encoded cells), the visibility pipeline (ViVo), the
+// viewport traces and the core cross-layer planner into frame-level
+// evaluations (the Table 1 reproduction) and a time-stepped session
+// simulator with buffers, blockage and QoE accounting (the
+// research-agenda system). The WLAN models and the frame planner
+// themselves live in internal/core.
+package stream
+
+import (
+	"fmt"
+
+	"volcast/internal/codec"
+	"volcast/internal/core"
+	"volcast/internal/geom"
+	"volcast/internal/phy"
+	"volcast/internal/trace"
+	"volcast/internal/vivo"
+)
+
+// Re-exported core types: the stream API is the main entry point for
+// callers, the mechanism lives in internal/core.
+type (
+	// Mode selects the delivery pipeline.
+	Mode = core.Mode
+	// Network is a WLAN model (PHY + MAC, beams on 802.11ad).
+	Network = core.Network
+	// NetworkKind selects the WLAN technology.
+	NetworkKind = core.NetworkKind
+)
+
+// Delivery modes and network kinds (see internal/core).
+const (
+	ModeVanilla   = core.ModeVanilla
+	ModeViVo      = core.ModeViVo
+	ModeMulticast = core.ModeMulticast
+
+	NetAC = core.NetAC
+	NetAD = core.NetAD
+)
+
+// NewAD assembles the calibrated 802.11ad mmWave network.
+func NewAD() (*Network, error) { return core.NewAD() }
+
+// NewAC assembles the calibrated 802.11ac network.
+func NewAC() (*Network, error) { return core.NewAC() }
+
+// EvalConfig configures an offline frame-rate evaluation.
+type EvalConfig struct {
+	// Mode is the delivery pipeline.
+	Mode Mode
+	// Users is the number of concurrent viewers (trace users 0..Users-1).
+	Users int
+	// Frames is the evaluation window (0 = all stored frames).
+	Frames int
+	// TargetFPS caps the reported rate (the content rate, 30).
+	TargetFPS float64
+	// CustomBeams enables multi-lobe beams for multicast groups.
+	CustomBeams bool
+	// DecodeRate is the client decode capability (zero = paper default).
+	DecodeRate codec.DecodeRate
+}
+
+// Result summarizes an evaluation.
+type Result struct {
+	// FPS is the mean achievable frame rate over the window.
+	FPS float64
+	// PerUserBytes is the mean requested bytes per user per frame.
+	PerUserBytes float64
+	// MulticastShare is the fraction of delivered bytes sent multicast.
+	MulticastShare float64
+	// PerUserRateMbps is the mean effective per-user delivery rate.
+	PerUserRateMbps float64
+}
+
+// Evaluator owns the pieces needed to evaluate frame rates for a set of
+// users on one network.
+type Evaluator struct {
+	Store *vivo.Store
+	Vis   *vivo.Visibility
+	Study *trace.Study
+	Net   *Network
+
+	planner *core.Planner
+}
+
+// NewEvaluator wires an evaluator; the visibility pipeline is built on
+// the store's grid with default ViVo parameters.
+func NewEvaluator(store *vivo.Store, study *trace.Study, net *Network) *Evaluator {
+	return &Evaluator{
+		Store:   store,
+		Vis:     vivo.New(store.Grid(), vivo.DefaultParams()),
+		Study:   study,
+		Net:     net,
+		planner: core.NewPlanner(net),
+	}
+}
+
+// userRequest computes user u's fetch request for frame f under the mode.
+func (e *Evaluator) userRequest(mode Mode, f int, pose geom.Pose) vivo.Request {
+	occ := e.Store.Frame(f).Occupied
+	if mode == ModeVanilla {
+		return vivo.VanillaRequest(occ)
+	}
+	return e.Vis.Request(occ, pose)
+}
+
+// EvalFPS runs the offline evaluation: for each frame in the window it
+// computes each user's request, plans the delivery schedule (unicast or
+// multicast) via the core planner, and converts airtime into the
+// achievable frame rate, bounded by the client decode capability. The
+// reported FPS is the mean over the window, capped at TargetFPS — the
+// measurement methodology of the paper's Table 1.
+func (e *Evaluator) EvalFPS(cfg EvalConfig) (Result, error) {
+	if cfg.Users < 1 {
+		return Result{}, fmt.Errorf("stream: need at least 1 user")
+	}
+	if cfg.Users > e.Study.Users() {
+		return Result{}, fmt.Errorf("stream: %d users requested, %d traces", cfg.Users, e.Study.Users())
+	}
+	if cfg.TargetFPS <= 0 {
+		cfg.TargetFPS = 30
+	}
+	if cfg.DecodeRate.PointsPerSecond <= 0 {
+		cfg.DecodeRate = codec.DefaultDecodeRate()
+	}
+	frames := cfg.Frames
+	if frames <= 0 || frames > e.Store.NumFrames() {
+		frames = e.Store.NumFrames()
+	}
+
+	var sumFPS, sumBytes, sumRate float64
+	var mcBytes, totBytes float64
+	for f := 0; f < frames; f++ {
+		positions := make([]geom.Vec3, cfg.Users)
+		reqs := make([]vivo.Request, cfg.Users)
+		bodies := make([]phy.Body, 0, cfg.Users)
+		points := e.Store.PointsOracle(f)
+		maxPoints := 0
+		for u := 0; u < cfg.Users; u++ {
+			pose := e.Study.Traces[u].PoseAt(f)
+			positions[u] = pose.Pos
+			bodies = append(bodies, phy.DefaultBody(pose.Pos))
+			reqs[u] = e.userRequest(cfg.Mode, f, pose)
+			if p := reqs[u].Points(points); p > maxPoints {
+				maxPoints = p
+			}
+		}
+		plan, err := e.planner.Plan(cfg.Mode, core.FrameInput{
+			Store: e.Store, Frame: f,
+			Requests: reqs, Positions: positions, Bodies: bodies,
+			CustomBeams: cfg.CustomBeams,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		fps := plan.AchievableFPS(cfg.TargetFPS)
+		if d := cfg.DecodeRate.MaxFPS(maxPoints, cfg.TargetFPS); d < fps {
+			fps = d
+		}
+		sumFPS += fps
+
+		for _, u := range plan.Users {
+			sumBytes += float64(u.RequestBytes)
+			sumRate += u.UnicastRateMbps
+		}
+		for _, g := range plan.Groups {
+			if len(g) >= 2 {
+				sm := float64(plan.OverlapBytes(g))
+				mcBytes += sm
+				totBytes += sm
+				for _, m := range g {
+					if rest := float64(plan.Users[m].RequestBytes) - sm; rest > 0 {
+						totBytes += rest
+					}
+				}
+			} else if len(g) == 1 {
+				totBytes += float64(plan.Users[g[0]].RequestBytes)
+			}
+		}
+	}
+	n := float64(frames)
+	res := Result{
+		FPS:             sumFPS / n,
+		PerUserBytes:    sumBytes / (n * float64(cfg.Users)),
+		PerUserRateMbps: sumRate / (n * float64(cfg.Users)),
+	}
+	if totBytes > 0 {
+		res.MulticastShare = mcBytes / totBytes
+	}
+	return res, nil
+}

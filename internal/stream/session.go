@@ -1,0 +1,410 @@
+package stream
+
+import (
+	"fmt"
+
+	"volcast/internal/abr"
+	"volcast/internal/codec"
+	"volcast/internal/core"
+	"volcast/internal/geom"
+	"volcast/internal/phy"
+	"volcast/internal/pointcloud"
+	"volcast/internal/predict"
+	"volcast/internal/trace"
+	"volcast/internal/vivo"
+)
+
+// SessionConfig configures a time-stepped multi-user streaming session.
+type SessionConfig struct {
+	// Users is the number of concurrent viewers.
+	Users int
+	// Seconds is the session length.
+	Seconds float64
+	// Mode selects the delivery pipeline.
+	Mode Mode
+	// CustomBeams enables multi-lobe multicast beams.
+	CustomBeams bool
+	// Predictive enables joint viewport prediction, blockage forecasting
+	// and the cross-layer controller (prefetch / beam switch / regroup).
+	Predictive bool
+	// StartQuality indexes the quality ladder each user starts at.
+	StartQuality pointcloud.Quality
+	// AdaptQuality lets the controller move users across the ladder.
+	AdaptQuality bool
+	// UseMPC selects the model-predictive quality controller instead of
+	// the rule-based cross-layer controller (an ablation knob; both read
+	// the same cross-layer bandwidth prediction).
+	UseMPC bool
+	// Fading adds seeded small-scale RSS fading per link (σ≈1.5 dB),
+	// exercising the rate-adaptation loop with realistic fluctuation.
+	Fading bool
+	// Seed drives the fading processes (0 → 1).
+	Seed int64
+	// BufferSeconds is the client playback buffer capacity.
+	BufferSeconds float64
+}
+
+// QoE aggregates the session's quality-of-experience metrics.
+type QoE struct {
+	// AvgFPS is the mean delivered frame rate across users.
+	AvgFPS float64
+	// Stalls is the total rebuffering events across users.
+	Stalls int
+	// StallSeconds is the total stalled time across users.
+	StallSeconds float64
+	// AvgQuality is the mean quality rung (0=low..2=high) played.
+	AvgQuality float64
+	// QualitySwitches counts ladder moves across users.
+	QualitySwitches int
+	// BeamSwitches counts proactive reflection-path switches.
+	BeamSwitches int
+	// Regroups counts multicast regrouping events.
+	Regroups int
+	// MulticastShare is the multicast fraction of delivered bytes.
+	MulticastShare float64
+}
+
+// Session is a running multi-user streaming session over the simulated
+// WLAN. Construct with NewSession and advance with Run.
+type Session struct {
+	cfg     SessionConfig
+	stores  map[pointcloud.Quality]*vivo.Store
+	visByQ  map[pointcloud.Quality]*vivo.Visibility
+	study   *trace.Study
+	net     *Network
+	planner *core.Planner
+	decode  codec.DecodeRate
+	joint   *predict.Joint
+	ctrl    *abr.Controller
+	mpc     *abr.MPC
+	buffers []*abr.Buffer
+	bwPred  []*abr.CrossLayer
+	quality []pointcloud.Quality
+	fading  []*phy.Fading
+}
+
+// NewSession validates the configuration and assembles a session.
+// The stores map must hold one store per quality rung on the same grid
+// layout; study must provide at least cfg.Users traces.
+func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, study *trace.Study, net *Network) (*Session, error) {
+	if cfg.Users < 1 {
+		return nil, fmt.Errorf("stream: need at least one user")
+	}
+	if study.Users() < cfg.Users {
+		return nil, fmt.Errorf("stream: %d traces for %d users", study.Users(), cfg.Users)
+	}
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("stream: no content stores")
+	}
+	if _, ok := stores[cfg.StartQuality]; !ok {
+		return nil, fmt.Errorf("stream: missing store for start quality %v", cfg.StartQuality)
+	}
+	if cfg.Seconds <= 0 {
+		cfg.Seconds = 5
+	}
+	if cfg.BufferSeconds <= 0 {
+		cfg.BufferSeconds = 1.0
+	}
+	s := &Session{
+		cfg:     cfg,
+		stores:  stores,
+		visByQ:  map[pointcloud.Quality]*vivo.Visibility{},
+		study:   study,
+		net:     net,
+		planner: core.NewPlanner(net),
+		decode:  codec.DefaultDecodeRate(),
+		ctrl:    abr.NewController(abr.DefaultConfig()),
+		mpc:     abr.NewMPC(),
+	}
+	for q, st := range stores {
+		s.visByQ[q] = vivo.New(st.Grid(), vivo.DefaultParams())
+	}
+	preds := make([]predict.Predictor, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		lin, err := predict.NewLinear(30, 20)
+		if err != nil {
+			return nil, err
+		}
+		preds[u] = lin
+		s.buffers = append(s.buffers, abr.NewBuffer(cfg.BufferSeconds))
+		s.bwPred = append(s.bwPred, abr.NewCrossLayer(abr.NewEWMA(0.3)))
+		s.quality = append(s.quality, cfg.StartQuality)
+	}
+	if cfg.Fading {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		for u := 0; u < cfg.Users; u++ {
+			s.fading = append(s.fading, phy.NewFading(seed+int64(u)*7919))
+		}
+	}
+	s.joint = predict.NewJoint(preds, geom.V(0, 1.2, 0))
+	return s, nil
+}
+
+// qualityStep moves along the available ladder.
+func (s *Session) qualityStep(q pointcloud.Quality, up bool) pointcloud.Quality {
+	ladder := pointcloud.Qualities()
+	idx := 0
+	for i, l := range ladder {
+		if l == q {
+			idx = i
+		}
+	}
+	for {
+		if up {
+			idx++
+		} else {
+			idx--
+		}
+		if idx < 0 || idx >= len(ladder) {
+			return q
+		}
+		if _, ok := s.stores[ladder[idx]]; ok {
+			return ladder[idx]
+		}
+	}
+}
+
+// Run advances the whole session and returns its QoE summary.
+func (s *Session) Run() (QoE, error) {
+	const dt = 1.0 / 30
+	steps := int(s.cfg.Seconds * 30)
+	var q QoE
+	var mcBytes, totBytes float64
+	var fpsSum float64
+	horizon := 0.3
+
+	for step := 0; step < steps; step++ {
+		poses := make([]geom.Pose, s.cfg.Users)
+		positions := make([]geom.Vec3, s.cfg.Users)
+		for u := 0; u < s.cfg.Users; u++ {
+			poses[u] = s.study.Traces[u].PoseAt(step)
+			positions[u] = poses[u].Pos
+		}
+		if err := s.joint.Observe(poses); err != nil {
+			return q, err
+		}
+		bodies := make([]phy.Body, s.cfg.Users)
+		for u := range positions {
+			bodies[u] = phy.DefaultBody(positions[u])
+		}
+
+		// Cross-layer forecasting: predicted poses → predicted blockages.
+		var futureBlocked map[int]bool
+		if s.cfg.Predictive && s.net.Kind == NetAD {
+			predPoses := s.joint.PredictAll(horizon)
+			futureBlocked = map[int]bool{}
+			for _, b := range predict.ForecastBlockages(s.net.Radio.Array.Pos, predPoses) {
+				futureBlocked[b.User] = true
+			}
+		}
+
+		// Per-user requests at their current quality.
+		reqs := make([]vivo.Request, s.cfg.Users)
+		perUser := make([]core.FrameContent, s.cfg.Users)
+		beamSwitched := map[int]bool{}
+		rateOverride := map[int]float64{}
+		for u := 0; u < s.cfg.Users; u++ {
+			st := s.stores[s.quality[u]]
+			vis := s.visByQ[s.quality[u]]
+			fi := step % st.NumFrames()
+			perUser[u] = core.FrameContent{Store: st, Frame: fi}
+			occ := st.Frame(fi).Occupied
+			if s.cfg.Mode == ModeVanilla {
+				reqs[u] = vivo.VanillaRequest(occ)
+			} else {
+				pose := poses[u]
+				if s.cfg.Predictive {
+					// Fetch for the predicted viewport (hides latency).
+					pose = s.joint.Users[u].Predict(horizon)
+				}
+				reqs[u] = vis.Request(occ, pose)
+			}
+
+			// Cross-layer reaction to predicted blockage.
+			if s.cfg.Predictive && futureBlocked[u] && s.net.Kind == NetAD {
+				bytes := reqs[u].Bytes(st.SizeOracle(fi))
+				st8 := abr.State{
+					PredictedMbps:       s.bwPred[u].Predict(),
+					DemandMbps:          codec.BitrateMbps(float64(bytes), 30),
+					BufferLevel:         s.buffers[u].Level(),
+					BufferCapacity:      s.buffers[u].Capacity,
+					BlockageExpected:    true,
+					ReflectionAvailable: true,
+				}
+				switch s.ctrl.Decide(st8) {
+				case abr.ActionBeamSwitch:
+					// Steer a dedicated beam along the strongest path
+					// (reflection) instead of the blocked LOS sector.
+					if dir, ok := s.net.Radio.BestPathDir(positions[u]); ok {
+						w := s.net.Radio.Array.SteerTo(dir)
+						rss := s.net.Radio.RSS(w, positions[u])
+						if r2 := s.net.MAC.EffectiveRate(phy.RateForRSS(phy.AD_SC_MCS, rss)); r2 > 0 {
+							rateOverride[u] = r2
+						}
+						q.BeamSwitches++
+						beamSwitched[u] = true
+					}
+				case abr.ActionPrefetch:
+					// Pull future frames while the link is still good.
+					s.buffers[u].Add(0.2)
+				}
+			}
+		}
+
+		var rssOffsets []float64
+		if len(s.fading) == s.cfg.Users {
+			rssOffsets = make([]float64, s.cfg.Users)
+			for u := range s.fading {
+				rssOffsets[u] = s.fading[u].Step(dt)
+			}
+		}
+		plan, err := s.planner.Plan(s.cfg.Mode, core.FrameInput{
+			PerUser:      perUser,
+			Requests:     reqs,
+			Positions:    positions,
+			Bodies:       bodies,
+			CustomBeams:  s.cfg.CustomBeams,
+			RSSOffsetsDB: rssOffsets,
+		})
+		if err != nil {
+			return q, err
+		}
+		// Proactive beam switches replace the swept sector rate when the
+		// steered reflection beam is stronger.
+		for u, r2 := range rateOverride {
+			if r2 > plan.Users[u].UnicastRateMbps {
+				plan.Users[u].UnicastRateMbps = r2
+			}
+		}
+
+		// This step's deliverable fraction of a frame per user.
+		frameFrac := 1.0
+		if plan.PlanTime > 0 {
+			frameFrac = plan.Airtime * dt / plan.PlanTime
+			if frameFrac > 1 {
+				frameFrac = 1
+			}
+		}
+		fpsSum += frameFrac * 30
+
+		// Buffers: each user receives frameFrac frames of playback.
+		for u := 0; u < s.cfg.Users; u++ {
+			s.buffers[u].Add(frameFrac * dt)
+			s.buffers[u].Drain(dt)
+			// Observe the achieved goodput for the predictor.
+			got := frameFrac * float64(plan.Users[u].RequestBytes) * 8 / dt / 1e6
+			s.bwPred[u].Observe(abr.Sample{T: float64(step) * dt, Mbps: got})
+			hint := abr.PHYHint{RateCeilingMbps: plan.Users[u].UnicastRateMbps}
+			if futureBlocked[u] && !beamSwitched[u] {
+				hint.BlockageExpected = true
+				hint.BlockageLossFrac = 0.35
+			}
+			s.bwPred[u].ObservePHY(hint)
+		}
+
+		// Rate adaptation once per second.
+		if s.cfg.AdaptQuality && step%30 == 29 {
+			s.adaptQuality(plan, &q)
+		}
+
+		// Byte accounting.
+		for _, g := range plan.Groups {
+			if len(g) >= 2 {
+				sm := float64(plan.OverlapBytes(g)) * frameFrac
+				mcBytes += sm
+				totBytes += sm
+				for _, m := range g {
+					rest := (float64(plan.Users[m].RequestBytes) - float64(plan.OverlapBytes(g))) * frameFrac
+					if rest > 0 {
+						totBytes += rest
+					}
+				}
+			} else if len(g) == 1 {
+				totBytes += float64(plan.Users[g[0]].RequestBytes) * frameFrac
+			}
+		}
+		for u := 0; u < s.cfg.Users; u++ {
+			q.AvgQuality += float64(s.quality[u])
+		}
+	}
+
+	for _, b := range s.buffers {
+		q.Stalls += b.Stalls
+		q.StallSeconds += b.StallTime
+	}
+	if steps > 0 {
+		q.AvgFPS = fpsSum / float64(steps)
+		q.AvgQuality /= float64(steps * s.cfg.Users)
+	}
+	if totBytes > 0 {
+		q.MulticastShare = mcBytes / totBytes
+	}
+	return q, nil
+}
+
+// adaptQuality runs the once-per-second controller pass (rule-based
+// cross-layer controller or MPC, per SessionConfig.UseMPC).
+func (s *Session) adaptQuality(plan *core.FramePlan, q *QoE) {
+	for u := 0; u < s.cfg.Users; u++ {
+		demand := codec.BitrateMbps(float64(plan.Users[u].RequestBytes), 30)
+		if s.cfg.UseMPC {
+			s.adaptQualityMPC(u, demand, q)
+			continue
+		}
+		upQ := s.qualityStep(s.quality[u], true)
+		upDemand := 0.0
+		if upQ != s.quality[u] {
+			upDemand = demand * float64(upQ.Points()) / float64(s.quality[u].Points())
+		}
+		st8 := abr.State{
+			PredictedMbps:    s.bwPred[u].Predict(),
+			DemandMbps:       demand,
+			NextUpDemandMbps: upDemand,
+			BufferLevel:      s.buffers[u].Level(),
+			BufferCapacity:   s.buffers[u].Capacity,
+			GroupEfficiency:  1,
+		}
+		switch s.ctrl.Decide(st8) {
+		case abr.ActionQualityDown:
+			if nq := s.qualityStep(s.quality[u], false); nq != s.quality[u] {
+				s.quality[u] = nq
+				q.QualitySwitches++
+			}
+		case abr.ActionQualityUp:
+			if nq := s.qualityStep(s.quality[u], true); nq != s.quality[u] {
+				s.quality[u] = nq
+				q.QualitySwitches++
+			}
+		case abr.ActionRegroup:
+			q.Regroups++
+		}
+	}
+}
+
+// adaptQualityMPC is the MPC arm of the ablation: build the per-rung
+// demand ladder by scaling the observed demand with the point-count
+// ratios, then let the lookahead controller pick the rung.
+func (s *Session) adaptQualityMPC(u int, demand float64, q *QoE) {
+	ladder := pointcloud.Qualities()
+	demands := make([]float64, 0, len(ladder))
+	avail := make([]pointcloud.Quality, 0, len(ladder))
+	cur := 0
+	for _, l := range ladder {
+		if _, ok := s.stores[l]; !ok {
+			continue
+		}
+		if l == s.quality[u] {
+			cur = len(avail)
+		}
+		demands = append(demands, demand*float64(l.Points())/float64(s.quality[u].Points()))
+		avail = append(avail, l)
+	}
+	pick := s.mpc.Choose(demands, cur, s.bwPred[u].Predict(), s.buffers[u].Level())
+	if pick != cur {
+		s.quality[u] = avail[pick]
+		q.QualitySwitches++
+	}
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"volcast/internal/codec"
+	"volcast/internal/geom"
+	"volcast/internal/trace"
+	"volcast/internal/wire"
+)
+
+// ClientConfig configures a trace-driven player.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// ID identifies the client to the server.
+	ID uint32
+	// Name is a display label.
+	Name string
+	// Trace drives the client's 6DoF pose stream; nil plays a static
+	// pose at the origin.
+	Trace *trace.Trace
+	// Duration bounds the playback session.
+	Duration time.Duration
+	// Decode enables full decoding of received cells (costs CPU; off,
+	// the client only accounts bytes).
+	Decode bool
+}
+
+// ClientStats summarizes a playback session.
+type ClientStats struct {
+	// Frames is the number of completed frames received.
+	Frames int
+	// Cells / Bytes count received cell payloads.
+	Cells int
+	Bytes int64
+	// MulticastBytes counts bytes the server marked as shared.
+	MulticastBytes int64
+	// Points counts decoded points (when Decode is set).
+	Points int64
+	// DecodeErrors counts corrupt blocks (must be 0 on a healthy link).
+	DecodeErrors int
+	// PosesSent counts outbound pose updates.
+	PosesSent int
+	// AvgFPS is Frames divided by the session wall time.
+	AvgFPS float64
+}
+
+// RunClient connects, streams poses from the trace and consumes content
+// until the duration elapses or the context is canceled.
+func RunClient(ctx context.Context, cfg ClientConfig) (ClientStats, error) {
+	var stats ClientStats
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return stats, fmt.Errorf("transport: dial: %w", err)
+	}
+	defer conn.Close()
+
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name}); err != nil {
+		return stats, fmt.Errorf("transport: hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return stats, fmt.Errorf("transport: welcome: %w", err)
+	}
+	welcome, ok := msg.(*wire.Welcome)
+	if !ok {
+		return stats, fmt.Errorf("transport: expected Welcome, got %v", msg.Type())
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sessionCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Pose sender at the trace rate.
+	hz := 30
+	if cfg.Trace != nil && cfg.Trace.Hz > 0 {
+		hz = cfg.Trace.Hz
+	}
+	poseDone := make(chan int)
+	go func() {
+		sent := 0
+		ticker := time.NewTicker(time.Second / time.Duration(hz))
+		defer ticker.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-sessionCtx.Done():
+				poseDone <- sent
+				return
+			case <-ticker.C:
+			}
+			t := time.Since(start).Seconds()
+			var pu wire.PoseUpdate
+			pu.Seq = uint32(sent)
+			pu.T = t
+			if cfg.Trace != nil {
+				pu.Pose = cfg.Trace.PoseAtTime(t)
+			} else {
+				pu.Pose.Rot = quatIdent()
+			}
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if err := wire.WriteMessage(conn, &pu); err != nil {
+				poseDone <- sent
+				return
+			}
+			sent++
+		}
+	}()
+
+	// Receiver until the deadline.
+	var dec codec.Decoder
+	start := time.Now()
+recv:
+	for {
+		if deadline, ok := sessionCtx.Deadline(); ok {
+			conn.SetReadDeadline(deadline)
+		}
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || isTimeout(err) {
+				break recv
+			}
+			// Connection ended early; report what we have.
+			break recv
+		}
+		switch m := msg.(type) {
+		case *wire.CellData:
+			stats.Cells++
+			stats.Bytes += int64(len(m.Payload))
+			if m.Multicast {
+				stats.MulticastBytes += int64(len(m.Payload))
+			}
+			if cfg.Decode {
+				dc, err := dec.Decode(m.Payload)
+				if err != nil {
+					stats.DecodeErrors++
+				} else {
+					stats.Points += int64(len(dc.Points))
+				}
+			}
+		case *wire.FrameComplete:
+			stats.Frames++
+		case *wire.Adapt:
+			// Quality change acknowledged implicitly.
+		}
+		select {
+		case <-sessionCtx.Done():
+			break recv
+		default:
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		stats.AvgFPS = float64(stats.Frames) / elapsed
+	}
+
+	// Graceful goodbye (best effort).
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = wire.WriteMessage(conn, &wire.Bye{})
+	cancel()
+	stats.PosesSent = <-poseDone
+	_ = welcome
+	return stats, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// quatIdent avoids importing geom just for the identity rotation.
+func quatIdent() geom.Quat { return geom.QuatIdent() }

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/geom"
+	"volcast/internal/trace"
+	"volcast/internal/wire"
+)
+
+// PullClientConfig configures a pull-mode player: the client runs its own
+// visibility pipeline over the grid the server advertises in Welcome and
+// requests exactly the cells its (predicted) viewport needs — the
+// DASH-like operation mode, as opposed to the server-push mode RunClient
+// uses.
+type PullClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// ID identifies the client.
+	ID uint32
+	// Trace drives the 6DoF pose stream (nil = static origin pose).
+	Trace *trace.Trace
+	// Duration bounds the session.
+	Duration time.Duration
+	// Stride is the density rung to request (distance-based LOD is the
+	// server's job in push mode; pull clients choose per request).
+	Stride uint8
+	// Decode enables full decoding of received cells.
+	Decode bool
+}
+
+// RunPullClient connects in pull mode, requests frustum-visible cells for
+// each frame at the content rate, and returns playback statistics.
+func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, error) {
+	var stats ClientStats
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return stats, fmt.Errorf("transport: dial: %w", err)
+	}
+	defer conn.Close()
+
+	if err := wire.WriteMessage(conn, &wire.Hello{
+		ClientID: cfg.ID, Name: "pull", Flags: wire.HelloFlagPull,
+	}); err != nil {
+		return stats, fmt.Errorf("transport: hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return stats, fmt.Errorf("transport: welcome: %w", err)
+	}
+	welcome, ok := msg.(*wire.Welcome)
+	if !ok {
+		return stats, fmt.Errorf("transport: expected Welcome, got %v", msg.Type())
+	}
+	// Rebuild the partition grid from the advertised geometry.
+	dims := welcome.GridDims
+	if welcome.CellSize <= 0 || dims[0] == 0 || dims[1] == 0 || dims[2] == 0 {
+		return stats, fmt.Errorf("transport: server advertised no grid (old server?)")
+	}
+	bounds := geom.AABB{
+		Min: welcome.GridOrigin,
+		Max: welcome.GridOrigin.Add(geom.V(
+			float64(dims[0])*welcome.CellSize,
+			float64(dims[1])*welcome.CellSize,
+			float64(dims[2])*welcome.CellSize,
+		)),
+	}
+	grid, err := cell.NewGrid(bounds, welcome.CellSize)
+	if err != nil {
+		return stats, err
+	}
+	fps := int(welcome.FPS)
+	if fps <= 0 {
+		fps = 30
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	var dec codec.Decoder
+	start := time.Now()
+	frame := uint32(0)
+	interval := time.Second / time.Duration(fps)
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			break
+		}
+		// Pace to the content rate.
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		next = next.Add(interval)
+
+		t := time.Since(start).Seconds()
+		pose := geom.Pose{Rot: geom.QuatIdent()}
+		if cfg.Trace != nil {
+			pose = cfg.Trace.PoseAtTime(t)
+		}
+		// Client-side visibility: every grid cell intersecting the
+		// frustum (the client cannot know occupancy; the server skips
+		// empty cells and reports the delivered count).
+		fr := geom.NewFrustum(pose, geom.DefaultFrustumParams())
+		var refs []wire.CellRef
+		for id := cell.ID(0); int(id) < grid.NumCells(); id++ {
+			if fr.IntersectsAABB(grid.Bounds(id)) {
+				refs = append(refs, wire.CellRef{CellID: uint32(id), Stride: cfg.Stride})
+			}
+		}
+		if err := wire.WriteMessage(conn, &wire.SegmentRequest{Frame: frame, Cells: refs}); err != nil {
+			break
+		}
+		stats.PosesSent++ // one request per frame plays the pose role
+
+		// Drain until this frame's FrameComplete.
+		conn.SetReadDeadline(deadline)
+	drain:
+		for {
+			msg, err := wire.ReadMessage(conn)
+			if err != nil {
+				goto out
+			}
+			switch m := msg.(type) {
+			case *wire.CellData:
+				stats.Cells++
+				stats.Bytes += int64(len(m.Payload))
+				if cfg.Decode {
+					if dc, err := dec.Decode(m.Payload); err != nil {
+						stats.DecodeErrors++
+					} else {
+						stats.Points += int64(len(dc.Points))
+					}
+				}
+			case *wire.FrameComplete:
+				stats.Frames++
+				break drain
+			}
+		}
+		frame++
+	}
+out:
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		stats.AvgFPS = float64(stats.Frames) / elapsed
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = wire.WriteMessage(conn, &wire.Bye{})
+	return stats, nil
+}

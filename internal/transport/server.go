@@ -1,0 +1,399 @@
+// Package transport implements the runnable TCP streaming system on top
+// of the wire protocol: a content server that ingests client pose
+// updates, runs the visibility pipeline per client, marks cells shared by
+// several viewports as multicast, and pushes encoded cells at the content
+// frame rate; and a trace-driven player client that decodes what it
+// receives and reports QoE statistics. The examples and the volserve /
+// volplay commands are thin wrappers around this package.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/vivo"
+	"volcast/internal/wire"
+)
+
+// ServerConfig configures a streaming server.
+type ServerConfig struct {
+	// Store is the encoded content.
+	Store *vivo.Store
+	// Vanilla disables the visibility optimizations (whole frames).
+	Vanilla bool
+	// FPS overrides the content frame rate (0 = store's rate).
+	FPS int
+	// Logf receives server diagnostics (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server streams content to connected players.
+type Server struct {
+	cfg ServerConfig
+	vis *vivo.Visibility
+
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
+	nextID  uint32
+
+	wg       sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
+	listener net.Listener
+}
+
+// clientConn is one connected player.
+type clientConn struct {
+	conn net.Conn
+	id   uint32
+	name string
+
+	mu   sync.Mutex
+	pose geom.Pose
+	seen bool
+	// pull marks a client that drives its own fetching with
+	// SegmentRequests; the push frame loop skips it.
+	pull bool
+	// degrade is the server-side adaptation level: each level doubles
+	// the delivered stride (halves density). It rises when the client's
+	// outbound queue backs up (slow network/client) and decays when the
+	// queue drains — the transport-level arm of the paper's cross-layer
+	// rate adaptation.
+	degrade int
+
+	out  chan wire.Message
+	done chan struct{}
+}
+
+// NewServer validates the config and returns a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Store == nil || cfg.Store.NumFrames() == 0 {
+		return nil, errors.New("transport: server needs a non-empty store")
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = cfg.Store.FPS()
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 30
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		vis:     vivo.New(cfg.Store.Grid(), vivo.DefaultParams()),
+		clients: map[*clientConn]struct{}{},
+		ctx:     ctx,
+		cancel:  cancel,
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown. It owns ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.frameLoop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return nil
+			default:
+				return fmt.Errorf("transport: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned address is the
+// bound address (useful with ":0").
+func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown stops accepting, disconnects clients and waits for workers.
+func (s *Server) Shutdown() {
+	s.cancel()
+	s.mu.Lock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.clients {
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// handle runs one client connection.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		s.cfg.Logf("transport: handshake read: %v", err)
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		s.cfg.Logf("transport: expected Hello, got %v", msg.Type())
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	c := &clientConn{
+		conn: conn,
+		id:   hello.ClientID,
+		name: hello.Name,
+		pull: hello.Flags&wire.HelloFlagPull != 0,
+		out:  make(chan wire.Message, 4096),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	sessionID := s.nextID
+	s.clients[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.clients, c)
+		s.mu.Unlock()
+	}()
+
+	nx, ny, nz := s.cfg.Store.Grid().Dims()
+	if err := wire.WriteMessage(conn, &wire.Welcome{
+		SessionID:  sessionID,
+		FPS:        uint16(s.cfg.FPS),
+		NumFrames:  uint32(s.cfg.Store.NumFrames()),
+		CellSize:   s.cfg.Store.Grid().Size(),
+		Qualities:  uint8(len(s.cfg.Store.Strides())),
+		GridOrigin: s.cfg.Store.Grid().Origin(),
+		GridDims:   [3]uint32{uint32(nx), uint32(ny), uint32(nz)},
+	}); err != nil {
+		s.cfg.Logf("transport: welcome: %v", err)
+		return
+	}
+
+	// Writer: drains the outbound queue until the connection ends.
+	writeDone := make(chan struct{})
+	go func() {
+		defer close(writeDone)
+		for {
+			select {
+			case m := <-c.out:
+				conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+				if err := wire.WriteMessage(conn, m); err != nil {
+					return
+				}
+			case <-c.done:
+				return
+			}
+		}
+	}()
+
+	// Reader: pose updates until Bye/EOF/shutdown.
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *wire.PoseUpdate:
+			c.mu.Lock()
+			c.pose = m.Pose
+			c.seen = true
+			c.mu.Unlock()
+		case *wire.SegmentRequest:
+			c.mu.Lock()
+			c.pull = true
+			c.mu.Unlock()
+			s.servePull(c, m)
+		case *wire.Bye:
+			goto done
+		default:
+			// Ignore unexpected but valid messages.
+		}
+	}
+done:
+	close(c.done)
+	<-writeDone
+}
+
+// frameLoop ticks at the content rate and pushes each frame's cells to
+// every connected client, with multicast marking for shared cells.
+func (s *Server) frameLoop() {
+	defer s.wg.Done()
+	interval := time.Second / time.Duration(s.cfg.FPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	frame := 0
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		s.pushFrame(frame)
+		frame++
+	}
+}
+
+// pushFrame computes per-client requests for one frame and enqueues the
+// cell bursts.
+func (s *Server) pushFrame(frame int) {
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	if len(clients) == 0 {
+		return
+	}
+	fi := frame % s.cfg.Store.NumFrames()
+	occ := s.cfg.Store.Frame(fi).Occupied
+
+	reqs := make([]vivo.Request, len(clients))
+	isPull := make([]bool, len(clients))
+	counts := map[cell.ID]int{}
+	for i, c := range clients {
+		c.mu.Lock()
+		pose, seen, pull := c.pose, c.seen, c.pull
+		c.mu.Unlock()
+		if pull {
+			isPull[i] = true
+			continue // client fetches for itself
+		}
+		if !seen || s.cfg.Vanilla {
+			reqs[i] = vivo.VanillaRequest(occ)
+		} else {
+			reqs[i] = s.vis.Request(occ, pose)
+		}
+		for _, cr := range reqs[i].Cells {
+			counts[cr.ID]++
+		}
+	}
+	for i, c := range clients {
+		if isPull[i] {
+			continue
+		}
+		degrade := s.adapt(c, len(reqs[i].Cells))
+		var cells, bytes uint64
+		for _, cr := range reqs[i].Cells {
+			stride := cr.Stride << degrade
+			blk := s.cfg.Store.Block(fi, cr.ID, stride)
+			if blk == nil {
+				continue
+			}
+			m := &wire.CellData{
+				Frame:     uint32(frame),
+				CellID:    uint32(cr.ID),
+				Stride:    uint8(stride),
+				Multicast: counts[cr.ID] > 1,
+				Payload:   blk.Data,
+			}
+			if !s.enqueue(c, m) {
+				break
+			}
+			cells++
+			bytes += uint64(len(blk.Data))
+		}
+		s.enqueue(c, &wire.FrameComplete{
+			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
+		})
+	}
+}
+
+// servePull answers a pull-mode request: the client asked for specific
+// cells (it runs its own visibility pipeline), the server returns exactly
+// those, followed by a FrameComplete marker. Unknown cells are skipped —
+// the FrameComplete's Cells count tells the client what it got.
+func (s *Server) servePull(c *clientConn, req *wire.SegmentRequest) {
+	fi := int(req.Frame) % s.cfg.Store.NumFrames()
+	var cells, bytes uint64
+	for _, ref := range req.Cells {
+		blk := s.cfg.Store.Block(fi, cell.ID(ref.CellID), int(ref.Stride))
+		if blk == nil {
+			continue
+		}
+		if !s.enqueue(c, &wire.CellData{
+			Frame:   req.Frame,
+			CellID:  ref.CellID,
+			Stride:  ref.Stride,
+			Payload: blk.Data,
+		}) {
+			break
+		}
+		cells++
+		bytes += uint64(len(blk.Data))
+	}
+	s.enqueue(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes})
+}
+
+// maxDegrade bounds the server-side density reduction (stride ×8).
+const maxDegrade = 3
+
+// adapt inspects the client's outbound queue and moves its degradation
+// level. The watermarks are measured in frames of backlog (burst = the
+// cell count of the frame about to be pushed): more than four frames
+// queued means the network or client cannot keep up, so density drops;
+// under half a frame queued restores it. Changes are announced with an
+// Adapt message.
+func (s *Server) adapt(c *clientConn, burst int) int {
+	if burst < 1 {
+		burst = 1
+	}
+	depth := len(c.out)
+	c.mu.Lock()
+	old := c.degrade
+	switch {
+	case depth > 4*burst && c.degrade < maxDegrade:
+		c.degrade++
+	case depth < burst/2 && c.degrade > 0:
+		c.degrade--
+	}
+	level := c.degrade
+	c.mu.Unlock()
+	if level != old {
+		s.enqueue(c, &wire.Adapt{Quality: uint8(level), Reason: 2}) // quality-down family
+		s.cfg.Logf("transport: client %d adaptation level %d -> %d (queue depth %d, burst %d)",
+			c.id, old, level, depth, burst)
+	}
+	return level
+}
+
+// enqueue delivers a message to the client's writer without blocking the
+// frame loop; a persistently full queue (slow client) drops frames, which
+// is the right failure mode for real-time media.
+func (s *Server) enqueue(c *clientConn, m wire.Message) bool {
+	select {
+	case <-c.done:
+		return false
+	case c.out <- m:
+		return true
+	default:
+		return false
+	}
+}

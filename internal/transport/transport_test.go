@@ -1,0 +1,372 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/pointcloud"
+	"volcast/internal/trace"
+	"volcast/internal/vivo"
+	"volcast/internal/wire"
+)
+
+func testStore(t testing.TB, frames, points int) *vivo.Store {
+	t.Helper()
+	video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+		Frames: frames, FPS: 30, PointsPerFrame: points, Seed: 1, Sway: 1,
+	})
+	b, _ := video.Bounds()
+	g, err := cell.NewGrid(b, cell.Size50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := codec.NewEncoder(codec.DefaultParams())
+	store, err := vivo.BuildStore(video, g, enc, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		if err := srv.ListenAndServe("127.0.0.1:0", ready); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	addr := <-ready
+	t.Cleanup(srv.Shutdown)
+	return srv, addr
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestEndToEndSingleClient(t *testing.T) {
+	store := testStore(t, 5, 8_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+
+	study := trace.GenerateStudy(60, 1)
+	stats, err := RunClient(context.Background(), ClientConfig{
+		Addr: addr, ID: 1, Name: "itest", Trace: study.Traces[0],
+		Duration: 1200 * time.Millisecond, Decode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames < 10 {
+		t.Errorf("only %d frames in 1.2s", stats.Frames)
+	}
+	if stats.Cells == 0 || stats.Bytes == 0 {
+		t.Errorf("no content received: %+v", stats)
+	}
+	if stats.DecodeErrors != 0 {
+		t.Errorf("%d decode errors", stats.DecodeErrors)
+	}
+	if stats.Points == 0 {
+		t.Error("decoded no points")
+	}
+	if stats.PosesSent < 10 {
+		t.Errorf("only %d poses sent", stats.PosesSent)
+	}
+	if stats.AvgFPS < 5 {
+		t.Errorf("AvgFPS = %v", stats.AvgFPS)
+	}
+}
+
+func TestEndToEndMultiClientMulticastMarking(t *testing.T) {
+	store := testStore(t, 5, 8_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+
+	study := trace.GenerateStudy(60, 1)
+	var wg sync.WaitGroup
+	statsCh := make(chan ClientStats, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := RunClient(context.Background(), ClientConfig{
+				Addr: addr, ID: uint32(i), Name: "multi", Trace: study.Traces[i],
+				Duration: 1200 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			statsCh <- st
+		}(i)
+	}
+	wg.Wait()
+	close(statsCh)
+	gotMulticast := false
+	n := 0
+	for st := range statsCh {
+		n++
+		if st.Frames == 0 {
+			t.Error("client starved")
+		}
+		if st.MulticastBytes > 0 {
+			gotMulticast = true
+		}
+	}
+	if n != 3 {
+		t.Fatalf("%d clients finished", n)
+	}
+	// Users watching the same content overlap: shared cells must have
+	// been marked multicast at least sometimes.
+	if !gotMulticast {
+		t.Error("no multicast-marked bytes despite overlapping viewports")
+	}
+}
+
+func TestServerVanillaMode(t *testing.T) {
+	store := testStore(t, 3, 5_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Vanilla: true, Logf: t.Logf})
+	stats, err := RunClient(context.Background(), ClientConfig{
+		Addr: addr, ID: 7, Duration: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames == 0 || stats.Cells == 0 {
+		t.Errorf("vanilla mode delivered nothing: %+v", stats)
+	}
+}
+
+func TestServerRejectsGarbageHandshake(t *testing.T) {
+	store := testStore(t, 2, 2_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Not a Hello: server must close without panicking.
+	if err := wire.WriteMessage(conn, &wire.Bye{}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server kept talking to a garbage handshake")
+	}
+}
+
+func TestServerShutdownUnblocksClients(t *testing.T) {
+	store := testStore(t, 3, 2_000)
+	srv, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunClient(context.Background(), ClientConfig{
+			Addr: addr, ID: 1, Duration: 10 * time.Second,
+		})
+	}()
+	time.Sleep(300 * time.Millisecond)
+	srv.Shutdown()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not unblock after shutdown")
+	}
+}
+
+func TestServerAdaptsToSlowClient(t *testing.T) {
+	// Large content at 30 FPS into a client that drains slowly: the
+	// outbound queue must back up and the server must announce a
+	// degradation level via Adapt.
+	store := testStore(t, 2, 120_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Vanilla: true, Logf: t.Logf})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: 9, Name: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadMessage(conn); err != nil { // Welcome
+		t.Fatal(err)
+	}
+
+	adapted := false
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) && !adapted {
+		// Drain a few messages, then pause so the queue builds.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for i := 0; i < 5; i++ {
+			msg, err := wire.ReadMessage(conn)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if a, ok := msg.(*wire.Adapt); ok && a.Quality > 0 {
+				adapted = true
+				break
+			}
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	if !adapted {
+		t.Error("server never degraded a slow client")
+	}
+}
+
+func TestPullModeSegmentRequest(t *testing.T) {
+	store := testStore(t, 3, 8_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: 3, Name: "pull", Flags: wire.HelloFlagPull}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadMessage(conn); err != nil { // Welcome
+		t.Fatal(err)
+	}
+
+	// Ask for every occupied cell of frame 1 at stride 2, plus a bogus id.
+	var refs []wire.CellRef
+	store.Frame(1).Occupied.ForEach(func(id cell.ID) {
+		refs = append(refs, wire.CellRef{CellID: uint32(id), Stride: 2})
+	})
+	want := len(refs)
+	refs = append(refs, wire.CellRef{CellID: 99999, Stride: 2})
+	if err := wire.WriteMessage(conn, &wire.SegmentRequest{Frame: 1, Cells: refs}); err != nil {
+		t.Fatal(err)
+	}
+
+	var dec codec.Decoder
+	gotCells := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn.SetReadDeadline(deadline)
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case *wire.CellData:
+			if m.Frame != 1 {
+				t.Fatalf("cell from frame %d", m.Frame)
+			}
+			if _, err := dec.Decode(m.Payload); err != nil {
+				t.Fatalf("pull payload undecodable: %v", err)
+			}
+			gotCells++
+		case *wire.FrameComplete:
+			if int(m.Cells) != want {
+				t.Fatalf("FrameComplete.Cells = %d, want %d (bogus id must be skipped)", m.Cells, want)
+			}
+			if gotCells != want {
+				t.Fatalf("received %d cells, want %d", gotCells, want)
+			}
+			wire.WriteMessage(conn, &wire.Bye{})
+			return
+		}
+	}
+	t.Fatal("pull response never completed")
+}
+
+func TestSegmentRequestRoundTripOnWire(t *testing.T) {
+	// Pull clients must not also receive pushed frames.
+	store := testStore(t, 3, 8_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire.WriteMessage(conn, &wire.Hello{ClientID: 4, Name: "pull2", Flags: wire.HelloFlagPull})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	wire.ReadMessage(conn) // Welcome
+	// Declare pull intent with an empty request.
+	wire.WriteMessage(conn, &wire.SegmentRequest{Frame: 0})
+	// Drain the (single, empty) response.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc, ok := msg.(*wire.FrameComplete); !ok || fc.Cells != 0 {
+		t.Fatalf("expected empty FrameComplete, got %v", msg.Type())
+	}
+	// Now nothing else should arrive for a while (no pushed bursts).
+	conn.SetReadDeadline(time.Now().Add(400 * time.Millisecond))
+	if m, err := wire.ReadMessage(conn); err == nil {
+		t.Fatalf("pull client received pushed %v", m.Type())
+	}
+}
+
+func TestRunPullClient(t *testing.T) {
+	store := testStore(t, 5, 10_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+	study := trace.GenerateStudy(90, 1)
+	stats, err := RunPullClient(context.Background(), PullClientConfig{
+		Addr: addr, ID: 11, Trace: study.Traces[0],
+		Duration: 1 * time.Second, Stride: 2, Decode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames < 5 {
+		t.Errorf("pull client got %d frames", stats.Frames)
+	}
+	if stats.Cells == 0 || stats.Bytes == 0 {
+		t.Errorf("pull client got no content: %+v", stats)
+	}
+	if stats.DecodeErrors != 0 {
+		t.Errorf("%d decode errors", stats.DecodeErrors)
+	}
+	if stats.Points == 0 {
+		t.Error("pull client decoded nothing")
+	}
+}
+
+func TestPushAndPullClientsCoexist(t *testing.T) {
+	store := testStore(t, 5, 10_000)
+	_, addr := startServer(t, ServerConfig{Store: store, Logf: t.Logf})
+	study := trace.GenerateStudy(90, 1)
+	var wg sync.WaitGroup
+	var pushStats, pullStats ClientStats
+	var pushErr, pullErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		pushStats, pushErr = RunClient(context.Background(), ClientConfig{
+			Addr: addr, ID: 1, Trace: study.Traces[0], Duration: time.Second,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		pullStats, pullErr = RunPullClient(context.Background(), PullClientConfig{
+			Addr: addr, ID: 2, Trace: study.Traces[1], Duration: time.Second, Stride: 1,
+		})
+	}()
+	wg.Wait()
+	if pushErr != nil || pullErr != nil {
+		t.Fatalf("push err %v, pull err %v", pushErr, pullErr)
+	}
+	if pushStats.Frames == 0 || pullStats.Frames == 0 {
+		t.Errorf("starved: push %d, pull %d frames", pushStats.Frames, pullStats.Frames)
+	}
+}

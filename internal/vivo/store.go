@@ -1,0 +1,207 @@
+package vivo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/pointcloud"
+)
+
+// FrameBlocks holds one frame's encoded cells at every prepared density
+// stride, as a content server would store them.
+type FrameBlocks struct {
+	// Occupied is the frame's occupied-cell set.
+	Occupied *cell.Set
+	// ByStride maps stride → cellID → encoded block.
+	ByStride map[int]map[cell.ID]*codec.Block
+}
+
+// Store is the server-side content store: every frame of a video,
+// partitioned on one grid and encoded per cell at a ladder of density
+// strides. It is the data source for both the offline experiments and the
+// TCP streaming server.
+type Store struct {
+	grid    *cell.Grid
+	strides []int
+	frames  []*FrameBlocks
+	fps     int
+}
+
+// BuildStore partitions and encodes the whole video, spreading frames
+// across all CPUs (the encoder is stateless). The strides slice must
+// include 1 (full density); it is sorted and deduplicated.
+func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides []int) (*Store, error) {
+	ss := dedupSorted(strides)
+	if len(ss) == 0 || ss[0] != 1 {
+		return nil, fmt.Errorf("vivo: strides must include 1, got %v", strides)
+	}
+	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(v.Frames) {
+		workers = len(v.Frames)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range next {
+				st.frames[fi] = encodeFrame(v.Frames[fi], g, enc, ss)
+			}
+		}()
+	}
+	for fi := range v.Frames {
+		next <- fi
+	}
+	close(next)
+	wg.Wait()
+	return st, nil
+}
+
+// encodeFrame partitions and encodes one frame at every stride.
+func encodeFrame(frame *pointcloud.Cloud, g *cell.Grid, enc *codec.Encoder, ss []int) *FrameBlocks {
+	fb := &FrameBlocks{
+		Occupied: g.OccupiedCells(frame),
+		ByStride: make(map[int]map[cell.ID]*codec.Block, len(ss)),
+	}
+	parts := g.Partition(frame)
+	for _, stride := range ss {
+		m := make(map[cell.ID]*codec.Block, len(parts))
+		for id, idxs := range parts {
+			sub := idxs
+			if stride > 1 {
+				sub = sub[:0:0]
+				for i := 0; i < len(idxs); i += stride {
+					sub = append(sub, idxs[i])
+				}
+			}
+			m[id] = enc.EncodeCell(id, frame, sub, g.Bounds(id))
+		}
+		fb.ByStride[stride] = m
+	}
+	return fb
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func dedupSorted(in []int) []int {
+	m := map[int]bool{}
+	for _, s := range in {
+		if s >= 1 {
+			m[s] = true
+		}
+	}
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Grid returns the partition grid.
+func (s *Store) Grid() *cell.Grid { return s.grid }
+
+// FPS returns the content frame rate.
+func (s *Store) FPS() int { return s.fps }
+
+// NumFrames returns the stored frame count.
+func (s *Store) NumFrames() int { return len(s.frames) }
+
+// Strides returns the prepared density ladder.
+func (s *Store) Strides() []int { return append([]int(nil), s.strides...) }
+
+// Frame returns frame fi's blocks (fi wraps around for looped playback).
+func (s *Store) Frame(fi int) *FrameBlocks {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	fi %= len(s.frames)
+	if fi < 0 {
+		fi += len(s.frames)
+	}
+	return s.frames[fi]
+}
+
+// nearestStride maps an arbitrary requested stride to the closest prepared
+// one (ties resolve to the denser option).
+func (s *Store) nearestStride(stride int) int {
+	best := s.strides[0]
+	bestD := abs(stride - best)
+	for _, c := range s.strides[1:] {
+		if d := abs(stride - c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Block returns the encoded block of a cell at (the nearest prepared
+// stride to) the requested stride, or nil when the cell is unoccupied.
+func (s *Store) Block(fi int, id cell.ID, stride int) *codec.Block {
+	fb := s.Frame(fi)
+	if fb == nil {
+		return nil
+	}
+	return fb.ByStride[s.nearestStride(stride)][id]
+}
+
+// SizeOracle returns a Request.Bytes oracle for frame fi.
+func (s *Store) SizeOracle(fi int) func(id cell.ID, stride int) int {
+	return func(id cell.ID, stride int) int {
+		if b := s.Block(fi, id, stride); b != nil {
+			return b.Size()
+		}
+		return 0
+	}
+}
+
+// PointsOracle returns a Request.Points oracle for frame fi.
+func (s *Store) PointsOracle(fi int) func(id cell.ID, stride int) int {
+	return func(id cell.ID, stride int) int {
+		if b := s.Block(fi, id, stride); b != nil {
+			return b.NumPoints
+		}
+		return 0
+	}
+}
+
+// FrameBytes returns the full-density encoded size of frame fi (what the
+// vanilla player downloads).
+func (s *Store) FrameBytes(fi int) int {
+	fb := s.Frame(fi)
+	if fb == nil {
+		return 0
+	}
+	total := 0
+	for _, b := range fb.ByStride[1] {
+		total += b.Size()
+	}
+	return total
+}
+
+// AvgFrameBytes returns the mean full-density frame size.
+func (s *Store) AvgFrameBytes() float64 {
+	if len(s.frames) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range s.frames {
+		total += s.FrameBytes(i)
+	}
+	return float64(total) / float64(len(s.frames))
+}

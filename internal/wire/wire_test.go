@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"volcast/internal/geom"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type() != m.Type() {
+		t.Fatalf("type %v != %v", got.Type(), m.Type())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Hello{ClientID: 42, Name: "player-7"}).(*Hello)
+	if got.ClientID != 42 || got.Name != "player-7" {
+		t.Errorf("got %+v", got)
+	}
+	// Oversized name is truncated, not corrupted.
+	long := &Hello{ClientID: 1, Name: strings.Repeat("x", 300)}
+	got2 := roundTrip(t, long).(*Hello)
+	if len(got2.Name) != 255 {
+		t.Errorf("name length %d", len(got2.Name))
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	w := &Welcome{SessionID: 7, FPS: 30, NumFrames: 300, CellSize: 0.5, Qualities: 3}
+	got := roundTrip(t, w).(*Welcome)
+	if *got != *w {
+		t.Errorf("got %+v want %+v", got, w)
+	}
+}
+
+func TestPoseUpdateRoundTrip(t *testing.T) {
+	p := &PoseUpdate{
+		Seq: 99, T: 1.25,
+		Pose: geom.Pose{
+			Pos: geom.V(1.5, -2.25, 3.125),
+			Rot: geom.AxisAngle(geom.V(0, 1, 0), 0.7),
+		},
+	}
+	got := roundTrip(t, p).(*PoseUpdate)
+	if got.Seq != p.Seq || got.T != p.T || got.Pose.Pos != p.Pose.Pos || got.Pose.Rot != p.Pose.Rot {
+		t.Errorf("got %+v want %+v", got, p)
+	}
+}
+
+func TestCellDataRoundTrip(t *testing.T) {
+	c := &CellData{Frame: 3, CellID: 17, Stride: 2, Multicast: true, Payload: []byte{1, 2, 3, 250}}
+	got := roundTrip(t, c).(*CellData)
+	if got.Frame != 3 || got.CellID != 17 || got.Stride != 2 || !got.Multicast ||
+		!bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("got %+v", got)
+	}
+	// Empty payload is legal.
+	e := roundTrip(t, &CellData{Frame: 1}).(*CellData)
+	if len(e.Payload) != 0 {
+		t.Errorf("payload %v", e.Payload)
+	}
+}
+
+func TestFrameCompleteAdaptBye(t *testing.T) {
+	fcGot := roundTrip(t, &FrameComplete{Frame: 5, Cells: 12, Bytes: 1 << 40}).(*FrameComplete)
+	if fcGot.Frame != 5 || fcGot.Cells != 12 || fcGot.Bytes != 1<<40 {
+		t.Errorf("got %+v", fcGot)
+	}
+	aGot := roundTrip(t, &Adapt{Quality: 2, Reason: 3}).(*Adapt)
+	if aGot.Quality != 2 || aGot.Reason != 3 {
+		t.Errorf("got %+v", aGot)
+	}
+	roundTrip(t, &Bye{})
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadMessage(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Zero length.
+	var zero bytes.Buffer
+	binary.Write(&zero, binary.LittleEndian, uint32(0))
+	if _, err := ReadMessage(&zero); !errors.Is(err, ErrShort) {
+		t.Errorf("zero length: %v", err)
+	}
+	// Hostile length.
+	var huge bytes.Buffer
+	binary.Write(&huge, binary.LittleEndian, uint32(MaxMessageSize+1))
+	if _, err := ReadMessage(&huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge length: %v", err)
+	}
+	// Unknown type.
+	var unk bytes.Buffer
+	binary.Write(&unk, binary.LittleEndian, uint32(1))
+	unk.WriteByte(200)
+	if _, err := ReadMessage(&unk); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown type: %v", err)
+	}
+	// Truncated body.
+	var short bytes.Buffer
+	binary.Write(&short, binary.LittleEndian, uint32(3))
+	short.WriteByte(byte(TypeWelcome))
+	short.Write([]byte{1, 2})
+	if _, err := ReadMessage(&short); !errors.Is(err, ErrShort) {
+		t.Errorf("short body: %v", err)
+	}
+	// Body missing bytes entirely.
+	var eof bytes.Buffer
+	binary.Write(&eof, binary.LittleEndian, uint32(10))
+	eof.WriteByte(byte(TypeBye))
+	if _, err := ReadMessage(&eof); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("eof body: %v", err)
+	}
+	// Hello with a lying name length.
+	var lie bytes.Buffer
+	body := []byte{0, 0, 0, 0, 0, 50, 'a'}
+	binary.Write(&lie, binary.LittleEndian, uint32(len(body)+1))
+	lie.WriteByte(byte(TypeHello))
+	lie.Write(body)
+	if _, err := ReadMessage(&lie); !errors.Is(err, ErrBadString) {
+		t.Errorf("lying hello: %v", err)
+	}
+	// CellData with a lying payload length.
+	var lie2 bytes.Buffer
+	body2 := make([]byte, 14)
+	binary.LittleEndian.PutUint32(body2[10:], 1000)
+	binary.Write(&lie2, binary.LittleEndian, uint32(len(body2)+1))
+	lie2.WriteByte(byte(TypeCellData))
+	lie2.Write(body2)
+	if _, err := ReadMessage(&lie2); !errors.Is(err, ErrShort) {
+		t.Errorf("lying celldata: %v", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt := TypeHello; mt <= TypeBye; mt++ {
+		if mt.String() == "" || strings.HasPrefix(mt.String(), "MsgType(") {
+			t.Errorf("missing name for %d", mt)
+		}
+	}
+	if !strings.HasPrefix(MsgType(99).String(), "MsgType(") {
+		t.Error("unknown type name wrong")
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{ClientID: 1, Name: "a"},
+		&PoseUpdate{Seq: 1, Pose: geom.Pose{Rot: geom.QuatIdent()}},
+		&CellData{Frame: 0, CellID: 4, Payload: []byte{9}},
+		&Bye{},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d type %v want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Error("stream not drained")
+	}
+}
+
+// Property: pose round trip is bit-exact for any finite floats.
+func TestPropertyPoseRoundTrip(t *testing.T) {
+	f := func(px, py, pz, qw, qx, qy, qz, tm float64) bool {
+		for _, v := range []float64{px, py, pz, qw, qx, qy, qz, tm} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := &PoseUpdate{T: tm, Pose: geom.Pose{
+			Pos: geom.V(px, py, pz),
+			Rot: geom.Quat{W: qw, X: qx, Y: qy, Z: qz},
+		}}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		g := got.(*PoseUpdate)
+		return g.T == tm && g.Pose.Pos == m.Pose.Pos && g.Pose.Rot == m.Pose.Rot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteCellData(b *testing.B) {
+	payload := make([]byte, 32*1024)
+	m := &CellData{Frame: 1, CellID: 2, Stride: 1, Payload: payload}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMessage(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCellData(b *testing.B) {
+	payload := make([]byte, 32*1024)
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &CellData{Frame: 1, CellID: 2, Payload: payload}); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMessage(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: ReadMessage never panics and never over-reads on arbitrary
+// byte streams (fuzz-style robustness for the network-facing parser).
+func TestPropertyReadMessageRobust(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(64)
+		buf := make([]byte, n)
+		r.Read(buf)
+		// Must not panic; errors are expected and fine.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %x: %v", buf, p)
+				}
+			}()
+			ReadMessage(bytes.NewReader(buf))
+		}()
+	}
+}
+
+// Property: flipping any single byte of a valid message either still
+// parses (the flip hit a don't-care bit) or errors — never panics.
+func TestPropertyBitflipRobust(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &CellData{Frame: 3, CellID: 17, Stride: 2, Payload: []byte{1, 2, 3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for i := range valid {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= 1 << bit
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("panic flipping byte %d bit %d: %v", i, bit, p)
+					}
+				}()
+				ReadMessage(bytes.NewReader(mut))
+			}()
+		}
+	}
+}

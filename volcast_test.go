@@ -1,0 +1,189 @@
+package volcast
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func smallContent(t testing.TB) *Content {
+	t.Helper()
+	c, err := NewContent(ContentOptions{Frames: 5, PointsPerFrame: 8_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewContentDefaults(t *testing.T) {
+	c := smallContent(t)
+	if c.Frames() != 5 {
+		t.Errorf("Frames = %d", c.Frames())
+	}
+	if c.BitrateMbps() <= 0 {
+		t.Errorf("BitrateMbps = %v", c.BitrateMbps())
+	}
+	if c.AvgPoints() < 7_000 || c.AvgPoints() > 8_000 {
+		t.Errorf("AvgPoints = %v", c.AvgPoints())
+	}
+	if c.Store() == nil {
+		t.Error("Store nil")
+	}
+}
+
+func TestNewContentMultiPerformer(t *testing.T) {
+	c, err := NewContent(ContentOptions{Frames: 2, PointsPerFrame: 9_000, Performers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AvgPoints() < 8_000 {
+		t.Errorf("scene AvgPoints = %v", c.AvgPoints())
+	}
+}
+
+func TestNewAudience(t *testing.T) {
+	a, err := NewAudience(AudienceOptions{Users: 4, Frames: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Users() != 4 {
+		t.Errorf("Users = %d", a.Users())
+	}
+	if a.Study() == nil {
+		t.Error("Study nil")
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	c := smallContent(t)
+	a, err := NewAudience(AudienceOptions{Users: 3, Frames: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(c, a, SessionOptions{
+		Seconds: 0.5, Multicast: true, CustomBeams: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.AvgFPS <= 0 || q.AvgFPS > 30 {
+		t.Errorf("AvgFPS = %v", q.AvgFPS)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(nil, nil, SessionOptions{}); err == nil {
+		t.Error("nil content/audience accepted")
+	}
+}
+
+func TestServeAndPlay(t *testing.T) {
+	c := smallContent(t)
+	a, err := NewAudience(AudienceOptions{Users: 1, Frames: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, "127.0.0.1:0", c, ready) }()
+	addr := <-ready
+
+	stats, err := Play(context.Background(), addr, 0, a, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames == 0 || stats.Bytes == 0 {
+		t.Errorf("playback empty: %+v", stats)
+	}
+	if stats.DecodeErrors != 0 {
+		t.Errorf("decode errors: %d", stats.DecodeErrors)
+	}
+	cancel()
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+func TestPullPlay(t *testing.T) {
+	c := smallContent(t)
+	a, err := NewAudience(AudienceOptions{Users: 1, Frames: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go func() { Serve(ctx, "127.0.0.1:0", c, ready) }()
+	addr := <-ready
+	stats, err := PullPlay(context.Background(), addr, 0, a, 700*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames == 0 || stats.Bytes == 0 {
+		t.Errorf("pull play empty: %+v", stats)
+	}
+}
+
+func TestSessionWithFadingAndAdaptation(t *testing.T) {
+	c := smallContent(t)
+	a, err := NewAudience(AudienceOptions{Users: 2, Frames: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(c, a, SessionOptions{
+		Seconds: 0.5, Multicast: true, Fading: true, AdaptQuality: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.AvgFPS <= 0 {
+		t.Errorf("AvgFPS = %v", q.AvgFPS)
+	}
+}
+
+func TestContentSaveLoad(t *testing.T) {
+	c := smallContent(t)
+	path := t.TempDir() + "/content.vcstor"
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadContent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames() != c.Frames() {
+		t.Errorf("frames %d != %d", got.Frames(), c.Frames())
+	}
+	if got.BitrateMbps() != c.BitrateMbps() {
+		t.Errorf("bitrate %v != %v", got.BitrateMbps(), c.BitrateMbps())
+	}
+	if got.AvgPoints() != 0 {
+		t.Errorf("loaded AvgPoints = %v, want 0", got.AvgPoints())
+	}
+	// Loaded content serves.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go func() { Serve(ctx, "127.0.0.1:0", got, ready) }()
+	addr := <-ready
+	stats, err := Play(context.Background(), addr, 0, nil, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames == 0 {
+		t.Error("loaded content did not stream")
+	}
+	if _, err := LoadContent(t.TempDir() + "/missing.vcstor"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
