@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# verify is the CI gate: static checks, a full build, and the test suite
+# under the race detector (the parallel execution substrate makes -race
+# part of tier-1, not an extra).
+verify: vet build race

@@ -7,11 +7,14 @@ package volcast
 // full-scale numbers recorded in EXPERIMENTS.md).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/experiments"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/stream"
 	"volcast/internal/trace"
@@ -106,6 +109,56 @@ func BenchmarkFig3e(b *testing.B) {
 		if res.Samples == 0 {
 			b.Fatal("no samples")
 		}
+	}
+}
+
+// BenchmarkEncodeParallel measures per-cell frame encoding at pool width
+// 1 (the pre-parallel sequential path) versus GOMAXPROCS, on the same
+// 100K-point frame as BenchmarkCodecModes.
+func BenchmarkEncodeParallel(b *testing.B) {
+	video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+		Frames: 1, FPS: 30, PointsPerFrame: 100_000, Seed: 1, Sway: 1,
+	})
+	frame := video.Frames[0]
+	bounds, _ := frame.Bounds()
+	g, err := cell.NewGrid(bounds, cell.Size50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer par.SetWorkers(0)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			enc := codec.NewEncoder(codec.DefaultParams())
+			for i := 0; i < b.N; i++ {
+				if blocks := enc.EncodeFrame(g, frame); len(blocks) == 0 {
+					b.Fatal("no blocks")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3dParallel measures the Fig. 3d beam-design sweep at pool
+// width 1 versus GOMAXPROCS (the per-sample custom-beam designs dominate
+// and are embarrassingly parallel).
+func BenchmarkFig3dParallel(b *testing.B) {
+	defer par.SetWorkers(0)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig3d(experiments.Fig3Config{
+					Samples: 40, Seed: 1, Frames: 90,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.CustomRSS) == 0 {
+					b.Fatal("no samples")
+				}
+			}
+		})
 	}
 }
 

@@ -15,9 +15,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"volcast/internal/cell"
 	"volcast/internal/codec"
+	"volcast/internal/metrics"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/transport"
 	"volcast/internal/vivo"
@@ -31,7 +34,12 @@ func main() {
 	vanilla := flag.Bool("vanilla", false, "disable visibility optimizations")
 	seed := flag.Int64("seed", 1, "content seed")
 	load := flag.String("load", "", "serve a pre-encoded .vcstor container instead of synthesizing")
+	workers := flag.Int("workers", 0, "parallel pool width (0 = VOLCAST_WORKERS or GOMAXPROCS, 1 = sequential)")
+	statsEvery := flag.Duration("stats", 30*time.Second, "metrics log interval (0 disables)")
 	flag.Parse()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
 
 	var store *vivo.Store
 	if *load != "" {
@@ -79,7 +87,17 @@ func main() {
 	ready := make(chan string, 1)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
-	log.Printf("volserve: listening on %s", <-ready)
+	log.Printf("volserve: listening on %s (%d workers)", <-ready, par.Workers())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				if s := metrics.Default().String(); s != "" {
+					log.Printf("volserve: metrics\n%s", s)
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -4,6 +4,8 @@
 //
 // Usage:
 //
+//	volsim [-stats] [-workers N] <subcommand> [flags]
+//
 //	volsim table1 [-frames N] [-scale F]
 //	volsim fig2a  [-frames N]
 //	volsim fig2b  [-frames N]
@@ -17,6 +19,11 @@
 //	volsim ablate   [-users N] [-seconds S]     feature ablation (QoE per feature)
 //	volsim gcr                                  reliable-groupcast cost table
 //	volsim codec   [-points N]                  position-coder comparison
+//
+// The global -stats flag dumps the process metrics registry (stage timers,
+// counters, per-layer latency histograms) to stderr after the subcommand
+// finishes; -workers N sets the parallel pool width (default GOMAXPROCS,
+// also settable via VOLCAST_WORKERS; 1 = fully sequential).
 package main
 
 import (
@@ -24,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"volcast/internal/experiments"
+	"volcast/internal/metrics"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/stream"
 	"volcast/internal/trace"
@@ -37,15 +47,41 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: volsim <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: volsim [-stats] [-workers N] <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
 	os.Exit(2)
 }
 
+// globalFlags strips the pre-subcommand -stats / -workers flags (the
+// subcommands own their local flag sets) and applies -workers.
+func globalFlags(args []string) (rest []string, stats bool) {
+	for len(args) > 0 {
+		switch a := args[0]; {
+		case a == "-stats" || a == "--stats":
+			stats = true
+			args = args[1:]
+		case a == "-workers" || a == "--workers":
+			if len(args) < 2 {
+				usage()
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				usage()
+			}
+			par.SetWorkers(n)
+			args = args[2:]
+		default:
+			return args, stats
+		}
+	}
+	return args, stats
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	args, stats := globalFlags(os.Args[1:])
+	if len(args) < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "table1":
@@ -80,6 +116,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volsim:", err)
 		os.Exit(1)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "== metrics (%d workers) ==\n%s", par.Workers(), metrics.Default().String())
 	}
 }
 

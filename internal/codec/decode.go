@@ -1,14 +1,15 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/crc32"
 	"math"
-	"runtime"
-	"sync"
+	"sort"
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
 
@@ -133,8 +134,10 @@ func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
 }
 
 // DecodeFrame decodes a set of blocks into a single cloud, spreading the
-// per-cell work across CPUs (cells are independently decodable — the
-// property the streaming design is built on). The first error wins.
+// per-cell work across the par pool (cells are independently decodable —
+// the property the streaming design is built on). Cells are concatenated
+// in ascending cell-ID order, so the output point order is deterministic
+// for any pool width; the lowest-cell error wins.
 func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, error) {
 	if len(blocks) == 0 {
 		return &pointcloud.Cloud{}, nil
@@ -145,50 +148,20 @@ func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, err
 		list = append(list, b)
 		total += b.NumPoints
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(list) {
-		workers = len(list)
-	}
-	if workers <= 1 {
-		out := &pointcloud.Cloud{Points: make([]pointcloud.Point, 0, total)}
-		for _, b := range list {
-			dc, err := d.Decode(b.Data)
-			if err != nil {
-				return nil, err
-			}
-			out.Points = append(out.Points, dc.Points...)
+	sort.Slice(list, func(a, b int) bool { return list[a].CellID < list[b].CellID })
+	results, err := par.Map(context.Background(), len(list), func(i int) ([]pointcloud.Point, error) {
+		dc, err := d.Decode(list[i].Data)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		return dc.Points, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	results := make([][]pointcloud.Point, len(list))
-	errs := make([]error, len(list))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				dc, err := d.Decode(list[i].Data)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				results[i] = dc.Points
-			}
-		}()
-	}
-	for i := range list {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	out := &pointcloud.Cloud{Points: make([]pointcloud.Point, 0, total)}
-	for i := range list {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out.Points = append(out.Points, results[i]...)
+	for _, pts := range results {
+		out.Points = append(out.Points, pts...)
 	}
 	return out, nil
 }

@@ -1,12 +1,14 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"sort"
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
 
@@ -148,12 +150,23 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 }
 
 // EncodeFrame partitions the cloud on the grid and encodes every occupied
-// cell, returning blocks keyed by cell ID.
+// cell, returning blocks keyed by cell ID. Cells are encoded on the par
+// pool (cells are independent and the encoder is stateless); the result
+// is identical for any pool width.
 func (e *Encoder) EncodeFrame(g *cell.Grid, c *pointcloud.Cloud) map[cell.ID]*Block {
 	parts := g.Partition(c)
-	out := make(map[cell.ID]*Block, len(parts))
-	for id, idxs := range parts {
-		out[id] = e.EncodeCell(id, c, idxs, g.Bounds(id))
+	ids := make([]cell.ID, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	blocks, _ := par.Map(context.Background(), len(ids), func(i int) (*Block, error) {
+		id := ids[i]
+		return e.EncodeCell(id, c, parts[id], g.Bounds(id)), nil
+	})
+	out := make(map[cell.ID]*Block, len(ids))
+	for i, id := range ids {
+		out[id] = blocks[i]
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
 	"volcast/internal/multicast"
 	"volcast/internal/phy"
 	"volcast/internal/vivo"
@@ -101,8 +102,15 @@ func (p *FramePlan) OverlapBytes(members []int) int {
 }
 
 // Planner builds per-frame delivery schedules on one network.
+//
+// Plan mutates the network's shared blockage state, so a Planner must not
+// be driven from multiple goroutines; parallel evaluations each build
+// their own Planner (and Network).
 type Planner struct {
 	Net *Network
+	// Metrics receives plan timings and airtime stats; nil disables
+	// instrumentation (every metrics instrument is nil-safe).
+	Metrics *metrics.Registry
 }
 
 // NewPlanner returns a planner for the network.
@@ -171,6 +179,7 @@ func excludeNearAny(bodies []phy.Body, rxs []geom.Vec3) []phy.Body {
 // partition is all-singletons; for ModeMulticast the greedy
 // viewport-similarity grouping of the paper's Tm(k) model runs.
 func (pl *Planner) Plan(mode Mode, in FrameInput) (*FramePlan, error) {
+	defer pl.Metrics.Timer("core.plan").Time()()
 	n := len(in.Requests)
 	contentFor := func(u int) FrameContent {
 		if len(in.PerUser) == n {
@@ -240,10 +249,13 @@ func (pl *Planner) Plan(mode Mode, in FrameInput) (*FramePlan, error) {
 			groups[u] = []int{u}
 		}
 	}
+	planTime := prob.PlanTime(groups)
+	pl.Metrics.Counter("core.frames_planned").Inc()
+	pl.Metrics.Histogram("core.frame_airtime_ms", nil).Observe(planTime * 1000)
 	return &FramePlan{
 		Groups:   groups,
 		Users:    users,
-		PlanTime: prob.PlanTime(groups),
+		PlanTime: planTime,
 		Airtime:  pl.Net.MAC.AirtimeFrac(n),
 		problem:  prob,
 	}, nil

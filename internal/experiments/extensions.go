@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"volcast/internal/geom"
 	"volcast/internal/mac"
 	"volcast/internal/multiap"
+	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/pointcloud"
 	"volcast/internal/predict"
@@ -55,33 +57,42 @@ func PredEval(frames int, seed int64, users int) ([]PredEvalRow, error) {
 			return predict.NewMLP(30, 8, 16, h, 0.005, seed)
 		}},
 	}
-	var rows []PredEvalRow
+	// One work item per (predictor, horizon) row; each item builds fresh
+	// predictor instances, so the only shared state is the read-only study.
+	type rowSpec struct {
+		maker mk
+		h     float64
+	}
+	var specs []rowSpec
 	for _, m := range makers {
 		for _, h := range horizons {
-			var posSum, angSum float64
-			for u := 0; u < users; u++ {
-				p, err := m.make(h)
-				if err != nil {
-					return nil, err
-				}
-				tr := study.Traces[u]
-				poses := make([]geom.Pose, tr.Len())
-				for i := range poses {
-					poses[i] = tr.PoseAt(i)
-				}
-				pe, ae := predict.Eval(p, poses, 30, h)
-				posSum += pe
-				angSum += ae
-			}
-			rows = append(rows, PredEvalRow{
-				Predictor: m.name,
-				HorizonS:  h,
-				PosErrM:   posSum / float64(users),
-				AngErrDeg: geom.Deg(angSum / float64(users)),
-			})
+			specs = append(specs, rowSpec{maker: m, h: h})
 		}
 	}
-	return rows, nil
+	return par.Map(context.Background(), len(specs), func(i int) (PredEvalRow, error) {
+		m, h := specs[i].maker, specs[i].h
+		var posSum, angSum float64
+		for u := 0; u < users; u++ {
+			p, err := m.make(h)
+			if err != nil {
+				return PredEvalRow{}, err
+			}
+			tr := study.Traces[u]
+			poses := make([]geom.Pose, tr.Len())
+			for i := range poses {
+				poses[i] = tr.PoseAt(i)
+			}
+			pe, ae := predict.Eval(p, poses, 30, h)
+			posSum += pe
+			angSum += ae
+		}
+		return PredEvalRow{
+			Predictor: m.name,
+			HorizonS:  h,
+			PosErrM:   posSum / float64(users),
+			AngErrDeg: geom.Deg(angSum / float64(users)),
+		}, nil
+	})
 }
 
 // RenderPredEval prints the accuracy table.
@@ -144,22 +155,23 @@ func MultiAP(points, users int, seed int64) ([]MultiAPRow, error) {
 		bodies[u] = phy.DefaultBody(pose.Pos)
 		reqs[u] = vis.Request(occ, pose)
 	}
-	var rows []MultiAPRow
-	for n := 1; n <= 4; n++ {
+	// Each AP count plans on its own multiap.System (own channel, own
+	// planners); the store, requests and bodies are shared read-only.
+	return par.Map(context.Background(), 4, func(i int) (MultiAPRow, error) {
+		n := i + 1
 		sys, err := multiap.New(n)
 		if err != nil {
-			return nil, err
+			return MultiAPRow{}, err
 		}
 		plan, err := sys.PlanFrame(core.ModeViVo, store, 0, reqs, positions, bodies, false, 1e9)
 		if err != nil {
-			return nil, err
+			return MultiAPRow{}, err
 		}
-		rows = append(rows, MultiAPRow{
+		return MultiAPRow{
 			APs: n, Users: users, FPS: plan.FPS,
 			Concurrent: plan.Concurrent, MinSIRdB: plan.MinSIRdB,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderMultiAP prints the AP sweep.
@@ -242,31 +254,32 @@ func Ablation(cfg AblationConfig) ([]AblationRow, error) {
 		{"+custom-beams", stream.SessionConfig{Mode: stream.ModeMulticast, CustomBeams: true}},
 		{"+prediction", stream.SessionConfig{Mode: stream.ModeMulticast, CustomBeams: true, Predictive: true}},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	// Each variant runs the full session engine on its own Network and
+	// Session; the content store and traces are shared read-only.
+	return par.Map(context.Background(), len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
 		sc := v.c
 		sc.Users = cfg.Users
 		sc.Seconds = cfg.Seconds
 		sc.StartQuality = pointcloud.QualityLow
 		net, err := stream.NewAD()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		sess, err := stream.NewSession(sc, stores, study, net)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		q, err := sess.Run()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Config: v.name, AvgFPS: q.AvgFPS, Stalls: q.Stalls,
 			StallSeconds: q.StallSeconds, MulticastShare: q.MulticastShare,
 			BeamSwitches: q.BeamSwitches,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAblation prints the sweep.
@@ -384,18 +397,27 @@ func CodecSweep(points int, seed int64) ([]CodecRow, error) {
 		{"octree+ac", func(qb uint8) codec.Params { return codec.Params{QuantBits: qb, Arithmetic: true} }},
 		{"auto", func(qb uint8) codec.Params { return codec.Params{QuantBits: qb, Auto: true} }},
 	}
-	var rows []CodecRow
+	// One work item per (quant-bits, mode) cell; every item gets a fresh
+	// encoder, and the frame/grid are read-only.
+	type rowSpec struct {
+		qb   uint8
+		mode int
+	}
+	var specs []rowSpec
 	for _, qb := range []uint8{6, 8, 10} {
-		for _, m := range modes {
-			s := codec.Measure(codec.NewEncoder(m.mk(qb)).EncodeFrame(g, frame))
-			rows = append(rows, CodecRow{
-				Mode: m.name, QuantBits: qb,
-				BitsPerPoint: s.BitsPerPoint,
-				Mbps30:       codec.BitrateMbps(float64(s.Bytes), 30),
-			})
+		for mi := range modes {
+			specs = append(specs, rowSpec{qb: qb, mode: mi})
 		}
 	}
-	return rows, nil
+	return par.Map(context.Background(), len(specs), func(i int) (CodecRow, error) {
+		qb, m := specs[i].qb, modes[specs[i].mode]
+		s := codec.Measure(codec.NewEncoder(m.mk(qb)).EncodeFrame(g, frame))
+		return CodecRow{
+			Mode: m.name, QuantBits: qb,
+			BitsPerPoint: s.BitsPerPoint,
+			Mbps30:       codec.BitrateMbps(float64(s.Bytes), 30),
+		}, nil
+	})
 }
 
 // RenderCodec prints the sweep.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/trace"
 )
@@ -41,20 +43,24 @@ func visibilityMaps(study *trace.Study, video *pointcloud.Video, size float64, u
 	if err != nil {
 		return nil, err
 	}
-	occ := make([]*cell.Set, len(video.Frames))
-	for i, f := range video.Frames {
-		occ[i] = g.OccupiedCells(f)
+	// Occupancy per frame, then per-user frustum culling, both on the par
+	// pool: frames are independent, and each user's visibility only reads
+	// the shared grid and occupancy sets. Results merge by index.
+	occ, err := par.Map(context.Background(), len(video.Frames), func(i int) (*cell.Set, error) {
+		return g.OccupiedCells(video.Frames[i]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out := make([][]*cell.Set, len(users))
-	for ui, u := range users {
-		tr := study.Traces[u]
-		out[ui] = make([]*cell.Set, len(video.Frames))
+	return par.Map(context.Background(), len(users), func(ui int) ([]*cell.Set, error) {
+		tr := study.Traces[users[ui]]
+		maps := make([]*cell.Set, len(video.Frames))
 		for i := range video.Frames {
 			fr := geom.NewFrustum(tr.PoseAt(i), geom.DefaultFrustumParams())
-			out[ui][i] = g.VisibleCells(occ[i], fr)
+			maps[i] = g.VisibleCells(occ[i], fr)
 		}
-	}
-	return out, nil
+		return maps, nil
+	})
 }
 
 // Fig2aSeries is one curve of Fig. 2a: a user pair's IoU per frame.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 
 	"volcast/internal/beam"
 	"volcast/internal/geom"
+	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/stream"
 	"volcast/internal/trace"
@@ -65,6 +67,19 @@ func samplePositions(r *rand.Rand, study *trace.Study, k int) []geom.Vec3 {
 	return out
 }
 
+// drawPositions pre-draws every sample's position set sequentially, so
+// the RNG stream is consumed in a fixed order no matter how the samples
+// are later processed. The expensive per-sample beam sweeps then fan out
+// on the par pool with results merged by index — the combination keeps
+// all Fig. 3 outputs byte-identical for any worker count.
+func drawPositions(r *rand.Rand, study *trace.Study, samples, k int) [][]geom.Vec3 {
+	out := make([][]geom.Vec3, samples)
+	for s := range out {
+		out[s] = samplePositions(r, study, k)
+	}
+	return out
+}
+
 // Fig3bCurve is the common-RSS CDF for one multicast group size under the
 // default codebook.
 type Fig3bCurve struct {
@@ -86,15 +101,17 @@ func Fig3b(cfg Fig3Config) ([]Fig3bCurve, error) {
 	var curves []Fig3bCurve
 	for _, k := range []int{1, 2, 3} {
 		r := rand.New(rand.NewSource(cfg.Seed + int64(k)))
-		vals := make([]float64, 0, cfg.Samples)
-		for s := 0; s < cfg.Samples; s++ {
-			pos := samplePositions(r, study, k)
+		draws := drawPositions(r, study, cfg.Samples, k)
+		vals, err := par.Map(context.Background(), cfg.Samples, func(s int) (float64, error) {
 			members := make([]beam.Member, k)
-			for i, p := range pos {
+			for i, p := range draws[s] {
 				members[i] = d.MemberFor(p)
 			}
 			_, minRSS := d.BestDefaultCommon(members)
-			vals = append(vals, minRSS)
+			return minRSS, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		curves = append(curves, Fig3bCurve{GroupSize: k, RSS: vals})
 	}
@@ -121,14 +138,15 @@ func Fig3d(cfg Fig3Config) (Fig3dResult, error) {
 	}
 	d := net.Designer
 	r := rand.New(rand.NewSource(cfg.Seed + 77))
-	var out Fig3dResult
-	for s := 0; s < cfg.Samples; s++ {
-		pos := samplePositions(r, study, 2)
+	draws := drawPositions(r, study, cfg.Samples, 2)
+	type sample struct{ def, cus float64 }
+	pairs, err := par.Map(context.Background(), cfg.Samples, func(s int) (sample, error) {
+		pos := draws[s]
 		members := []beam.Member{d.MemberFor(pos[0]), d.MemberFor(pos[1])}
 		_, defMin := d.BestDefaultCommon(members)
 		w, err := d.DesignCustom(members)
 		if err != nil {
-			return Fig3dResult{}, err
+			return sample{}, err
 		}
 		cus := math.Inf(1)
 		for _, v := range d.GroupRSS(w, members) {
@@ -141,8 +159,15 @@ func Fig3d(cfg Fig3Config) (Fig3dResult, error) {
 		if defMin > cus {
 			cus = defMin
 		}
-		out.DefaultRSS = append(out.DefaultRSS, defMin)
-		out.CustomRSS = append(out.CustomRSS, cus)
+		return sample{def: defMin, cus: cus}, nil
+	})
+	if err != nil {
+		return Fig3dResult{}, err
+	}
+	var out Fig3dResult
+	for _, p := range pairs {
+		out.DefaultRSS = append(out.DefaultRSS, p.def)
+		out.CustomRSS = append(out.CustomRSS, p.cus)
 	}
 	return out, nil
 }
@@ -173,10 +198,10 @@ func Fig3e(cfg Fig3Config) (Fig3eResult, error) {
 	}
 	d := net.Designer
 	r := rand.New(rand.NewSource(cfg.Seed + 99))
-	var res Fig3eResult
-	var sumU, sumD, sumC float64
-	for s := 0; s < cfg.Samples; s++ {
-		pos := samplePositions(r, study, 2)
+	draws := drawPositions(r, study, cfg.Samples, 2)
+	type sample struct{ uni, mcDef, mcCus float64 }
+	samples, err := par.Map(context.Background(), cfg.Samples, func(s int) (sample, error) {
+		pos := draws[s]
 		members := []beam.Member{d.MemberFor(pos[0]), d.MemberFor(pos[1])}
 
 		// Unicast: each user served by their own best sector; delivering
@@ -196,24 +221,32 @@ func Fig3e(cfg Fig3Config) (Fig3eResult, error) {
 
 		cusW, err := d.DesignCustom(members)
 		if err != nil {
-			return Fig3eResult{}, err
+			return sample{}, err
 		}
 		mcCus := 2 * groupRate(net, d, cusW, members)
 		if mcDef > mcCus { // selection rule: custom never chosen when worse
 			mcCus = mcDef
 		}
-
-		best := math.Max(uni, math.Max(mcDef, mcCus))
+		return sample{uni: uni, mcDef: mcDef, mcCus: mcCus}, nil
+	})
+	if err != nil {
+		return Fig3eResult{}, err
+	}
+	// Reduce in sample order (identical to the sequential accumulation).
+	var res Fig3eResult
+	var sumU, sumD, sumC float64
+	for _, sm := range samples {
+		best := math.Max(sm.uni, math.Max(sm.mcDef, sm.mcCus))
 		if best <= 0 {
 			continue
 		}
-		sumU += uni / best
-		sumD += mcDef / best
-		sumC += mcCus / best
-		if mcDef > uni {
+		sumU += sm.uni / best
+		sumD += sm.mcDef / best
+		sumC += sm.mcCus / best
+		if sm.mcDef > sm.uni {
 			res.WinsDefault++
 		}
-		if mcCus > uni {
+		if sm.mcCus > sm.uni {
 			res.WinsCustom++
 		}
 		res.Samples++

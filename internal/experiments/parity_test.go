@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"volcast/internal/par"
+)
+
+// TestWorkerCountParity is the tentpole equivalence guarantee: every
+// experiment must render byte-identically whether the par pool runs
+// fully sequential (workers=1, the pre-parallel code path) or wide
+// (workers=8). Each generator runs at reduced scale; the rendered text
+// is compared verbatim.
+func TestWorkerCountParity(t *testing.T) {
+	defer par.SetWorkers(0)
+
+	render := func(t *testing.T) map[string]string {
+		t.Helper()
+		out := map[string]string{}
+
+		rows, err := Table1(Table1Config{
+			Frames: 2, Seed: 1, Scale: 0.05, MaxADUsers: 2, MaxACUsers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table1"] = RenderTable1(rows)
+
+		curves, err := Fig2b(Fig2Config{
+			Frames: 30, Seed: 1, ScenePoints: 8_000, UsersPerGroup: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := make([]string, len(curves))
+		vals := make([][]float64, len(curves))
+		for i, c := range curves {
+			labels[i], vals[i] = c.Label, c.IoUs
+		}
+		out["fig2b"] = RenderCDF(labels, vals)
+
+		f3d, err := Fig3d(Fig3Config{Samples: 12, Seed: 1, Frames: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig3d"] = RenderFig3d(f3d)
+
+		return out
+	}
+
+	par.SetWorkers(1)
+	seq := render(t)
+	par.SetWorkers(8)
+	wide := render(t)
+
+	for name, want := range seq {
+		if got := wide[name]; got != want {
+			t.Errorf("%s: workers=8 output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", name, want, got)
+		}
+	}
+}

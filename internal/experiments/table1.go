@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/stream"
 	"volcast/internal/trace"
@@ -146,7 +148,16 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 		PointsPerSecond: float64(pointcloud.QualityHigh.Points()) * cfg.Scale * 30,
 	}
 
-	var rows []Table1Row
+	// One work item per table row. Each row builds its own Network models
+	// (the planner mutates the network's blockage set while evaluating),
+	// while the stores and the study are shared read-only — so the rows
+	// fan out on the par pool and merge by index.
+	type rowSpec struct {
+		kind stream.NetworkKind
+		name string
+		n    int
+	}
+	var specs []rowSpec
 	for _, netKind := range []stream.NetworkKind{stream.NetAC, stream.NetAD} {
 		maxUsers := cfg.MaxACUsers
 		name := "ac"
@@ -155,51 +166,55 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 			name = "ad"
 		}
 		for n := 1; n <= maxUsers; n++ {
-			row := Table1Row{Net: name, Users: n}
-			for qi, q := range pointcloud.Qualities() {
-				var net *stream.Network
-				if netKind == stream.NetAD {
-					net, err = stream.NewAD()
-				} else {
-					net, err = stream.NewAC()
-				}
-				if err != nil {
-					return nil, err
-				}
-				ev := stream.NewEvaluator(stores[q], study, net)
-				van, err := ev.EvalFPS(stream.EvalConfig{
-					Mode: stream.ModeVanilla, Users: n, TargetFPS: 30, DecodeRate: decode,
-				})
-				if err != nil {
-					return nil, err
-				}
-				viv, err := ev.EvalFPS(stream.EvalConfig{
-					Mode: stream.ModeViVo, Users: n, TargetFPS: 30, DecodeRate: decode,
-				})
-				if err != nil {
-					return nil, err
-				}
-				row.VanillaFPS[qi] = van.FPS
-				row.ViVoFPS[qi] = viv.FPS
-				if cfg.WithMulticast && netKind == stream.NetAD {
-					mc, err := ev.EvalFPS(stream.EvalConfig{
-						Mode: stream.ModeMulticast, CustomBeams: true,
-						Users: n, TargetFPS: 30, DecodeRate: decode,
-					})
-					if err != nil {
-						return nil, err
-					}
-					row.MulticastFPS[qi] = mc.FPS
-				}
-				if qi == 0 {
-					row.PerUserRateMbps = van.PerUserRateMbps *
-						net.MAC.AirtimeFrac(n) / float64(n)
-				}
-			}
-			rows = append(rows, row)
+			specs = append(specs, rowSpec{kind: netKind, name: name, n: n})
 		}
 	}
-	return rows, nil
+	return par.Map(context.Background(), len(specs), func(i int) (Table1Row, error) {
+		spec := specs[i]
+		row := Table1Row{Net: spec.name, Users: spec.n}
+		for qi, q := range pointcloud.Qualities() {
+			var net *stream.Network
+			var err error
+			if spec.kind == stream.NetAD {
+				net, err = stream.NewAD()
+			} else {
+				net, err = stream.NewAC()
+			}
+			if err != nil {
+				return Table1Row{}, err
+			}
+			ev := stream.NewEvaluator(stores[q], study, net)
+			van, err := ev.EvalFPS(stream.EvalConfig{
+				Mode: stream.ModeVanilla, Users: spec.n, TargetFPS: 30, DecodeRate: decode,
+			})
+			if err != nil {
+				return Table1Row{}, err
+			}
+			viv, err := ev.EvalFPS(stream.EvalConfig{
+				Mode: stream.ModeViVo, Users: spec.n, TargetFPS: 30, DecodeRate: decode,
+			})
+			if err != nil {
+				return Table1Row{}, err
+			}
+			row.VanillaFPS[qi] = van.FPS
+			row.ViVoFPS[qi] = viv.FPS
+			if cfg.WithMulticast && spec.kind == stream.NetAD {
+				mc, err := ev.EvalFPS(stream.EvalConfig{
+					Mode: stream.ModeMulticast, CustomBeams: true,
+					Users: spec.n, TargetFPS: 30, DecodeRate: decode,
+				})
+				if err != nil {
+					return Table1Row{}, err
+				}
+				row.MulticastFPS[qi] = mc.FPS
+			}
+			if qi == 0 {
+				row.PerUserRateMbps = van.PerUserRateMbps *
+					net.MAC.AirtimeFrac(spec.n) / float64(spec.n)
+			}
+		}
+		return row, nil
+	})
 }
 
 // RenderTable1 formats the rows like the paper's Table 1, appending the

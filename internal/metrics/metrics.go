@@ -1,0 +1,428 @@
+// Package metrics is the pipeline's stage instrumentation: named
+// counters, stage timers and per-layer histograms collected into a
+// Registry with a stable text dump and a JSON dump. All instruments are
+// safe for concurrent use, and every method is nil-safe — a component
+// holding a nil *Registry (instrumentation disabled) records nothing at
+// zero cost, so callers never need nil checks at the recording sites.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Timer aggregates durations of one pipeline stage.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one stage execution.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.sum += d
+}
+
+// Time starts a measurement; the returned func records the elapsed time.
+// Usage: defer r.Timer("stage").Time()().
+func (t *Timer) Time() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Total returns the summed duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sum
+}
+
+// Mean returns the mean observed duration (0 with no observations).
+func (t *Timer) Mean() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 {
+		return 0
+	}
+	return t.sum / time.Duration(t.count)
+}
+
+// Min returns the smallest observed duration.
+func (t *Timer) Min() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.min
+}
+
+// Max returns the largest observed duration.
+func (t *Timer) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.max
+}
+
+// Histogram counts observations into fixed buckets (upper-bound
+// inclusive, with an implicit +Inf overflow bucket).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// snapshot returns bounds and counts copies under the lock.
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...), h.sum, h.n
+}
+
+// MillisBuckets is the default per-layer latency ladder (milliseconds):
+// sub-frame-budget steps up to the 33 ms frame deadline and beyond.
+func MillisBuckets() []float64 {
+	return []float64{0.1, 0.5, 1, 2, 5, 10, 20, 33, 50, 100, 250, 1000}
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is valid and
+// records nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide default registry (cmds dump it via -stats).
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns (creating if needed) the named timer.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns (creating if needed) the named histogram. The bounds
+// are sorted upper bucket bounds; they are fixed on first creation and
+// ignored on later lookups. Nil bounds default to MillisBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = MillisBuckets()
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every instrument.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.timers = map[string]*Timer{}
+	r.hists = map[string]*Histogram{}
+}
+
+// names returns the sorted keys of one instrument map.
+func names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders every instrument in a stable, name-sorted text form.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	if len(counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range names(counters) {
+			fmt.Fprintf(&b, "  %-32s %d\n", name, counters[name].Value())
+		}
+	}
+	if len(timers) > 0 {
+		b.WriteString("timers:\n")
+		for _, name := range names(timers) {
+			t := timers[name]
+			fmt.Fprintf(&b, "  %-32s count=%d total=%v mean=%v min=%v max=%v\n",
+				name, t.Count(), t.Total().Round(time.Microsecond),
+				t.Mean().Round(time.Microsecond),
+				t.Min().Round(time.Microsecond), t.Max().Round(time.Microsecond))
+		}
+	}
+	if len(hists) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range names(hists) {
+			bounds, counts, sum, n := hists[name].snapshot()
+			mean := 0.0
+			if n > 0 {
+				mean = sum / float64(n)
+			}
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.3g", name, n, mean)
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(bounds) {
+					fmt.Fprintf(&b, " le%g:%d", bounds[i], c)
+				} else {
+					fmt.Fprintf(&b, " inf:%d", c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TimerStats is the JSON form of one timer.
+type TimerStats struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// HistogramStats is the JSON form of one histogram.
+type HistogramStats struct {
+	Count  int64     `json:"count"`
+	Mean   float64   `json:"mean"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is the JSON form of a registry.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot captures the current values of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, t := range timers {
+		s.Timers[name] = TimerStats{
+			Count: t.Count(), TotalMS: ms(t.Total()), MeanMS: ms(t.Mean()),
+			MinMS: ms(t.Min()), MaxMS: ms(t.Max()),
+		}
+	}
+	for name, h := range hists {
+		bounds, counts, sum, n := h.snapshot()
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+			if math.IsNaN(mean) || math.IsInf(mean, 0) {
+				mean = 0
+			}
+		}
+		s.Histograms[name] = HistogramStats{Count: n, Mean: mean, Bounds: bounds, Counts: counts}
+	}
+	return s
+}
+
+// JSON renders the registry as indented JSON with sorted keys.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAggregation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("frames").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := r.Counter("other").Value(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+}
+
+func TestTimerAggregation(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("plan")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	tm.Observe(20 * time.Millisecond)
+	if tm.Count() != 3 {
+		t.Fatalf("count = %d", tm.Count())
+	}
+	if tm.Total() != 60*time.Millisecond {
+		t.Fatalf("total = %v", tm.Total())
+	}
+	if tm.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %v", tm.Mean())
+	}
+	if tm.Min() != 10*time.Millisecond || tm.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", tm.Min(), tm.Max())
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Timer("stage").Time()
+	time.Sleep(time.Millisecond)
+	stop()
+	if r.Timer("stage").Count() != 1 || r.Timer("stage").Total() <= 0 {
+		t.Fatalf("Time() recorded count=%d total=%v",
+			r.Timer("stage").Count(), r.Timer("stage").Total())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 10, 11, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	bounds, counts, _, _ := h.snapshot()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("snapshot shape: %v %v", bounds, counts)
+	}
+	// Upper-bound inclusive: {0.5, 1} | {5, 10} | {11, 100}.
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got, want := h.Mean(), (0.5+1+5+10+11+100)/6; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument type from many
+// goroutines; run with -race to catch unsynchronized access.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Timer("t").Observe(time.Microsecond)
+				r.Histogram("h", nil).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", r.Counter("c").Value())
+	}
+	if r.Timer("t").Count() != 4000 {
+		t.Fatalf("timer count = %d, want 4000", r.Timer("t").Count())
+	}
+	if r.Histogram("h", nil).Count() != 4000 {
+		t.Fatalf("hist count = %d, want 4000", r.Histogram("h", nil).Count())
+	}
+}
+
+// TestStableTextOutput checks that the dump is name-sorted and identical
+// across renders.
+func TestStableTextOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Timer("m.mid").Observe(time.Millisecond)
+	r.Histogram("b.h", []float64{1}).Observe(0.5)
+	s1 := r.String()
+	s2 := r.String()
+	if s1 != s2 {
+		t.Fatalf("dump not stable:\n%s\nvs\n%s", s1, s2)
+	}
+	if !strings.Contains(s1, "a.first") || !strings.Contains(s1, "z.last") {
+		t.Fatalf("dump missing counters:\n%s", s1)
+	}
+	if strings.Index(s1, "a.first") > strings.Index(s1, "z.last") {
+		t.Fatalf("counters not sorted:\n%s", s1)
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames").Add(7)
+	r.Timer("plan").Observe(2 * time.Millisecond)
+	r.Histogram("lat", []float64{1}).Observe(3)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["frames"] != 7 {
+		t.Fatalf("json counters = %v", snap.Counters)
+	}
+	if snap.Timers["plan"].Count != 1 {
+		t.Fatalf("json timers = %v", snap.Timers)
+	}
+	if snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("json histograms = %v", snap.Histograms)
+	}
+}
+
+// TestNilSafety: a nil registry (instrumentation disabled) must accept
+// every call without panicking.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Timer("y").Observe(time.Second)
+	r.Timer("y").Time()()
+	r.Histogram("z", nil).Observe(1)
+	r.Reset()
+	if r.String() != "" {
+		t.Fatal("nil registry dump not empty")
+	}
+	if r.Counter("x").Value() != 0 || r.Timer("y").Count() != 0 || r.Histogram("z", nil).Count() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil snapshot non-empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Reset()
+	if r.String() != "" {
+		t.Fatalf("dump after reset: %q", r.String())
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() == nil {
+		t.Fatal("Default() = nil")
+	}
+	Default().Counter("metrics_test.probe").Inc()
+	if Default().Counter("metrics_test.probe").Value() < 1 {
+		t.Fatal("default registry did not record")
+	}
+}

@@ -1,0 +1,188 @@
+// Package par is the repo's parallel execution substrate: a bounded
+// worker pool that fans indexed work items out across goroutines and
+// merges results strictly by index, so every caller stays bit-for-bit
+// deterministic regardless of pool width. It adds panic capture (a
+// panicking work item surfaces as an error instead of killing the
+// process) and context cancellation (a cancelled context stops the
+// scheduling of new items).
+//
+// The default pool width is the VOLCAST_WORKERS environment variable
+// when set, otherwise GOMAXPROCS; SetWorkers overrides it at runtime
+// (cmd flags use this). Width 1 runs items inline on the calling
+// goroutine in index order — exactly the pre-parallel behaviour.
+package par
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide pool width; 0 means "not yet
+// initialized from the environment".
+var defaultWorkers atomic.Int64
+
+// envWorkers resolves the initial pool width: VOLCAST_WORKERS when it
+// parses as a positive integer, else GOMAXPROCS.
+func envWorkers() int {
+	if s := os.Getenv("VOLCAST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current default pool width.
+func Workers() int {
+	if w := defaultWorkers.Load(); w > 0 {
+		return int(w)
+	}
+	w := envWorkers()
+	defaultWorkers.CompareAndSwap(0, int64(w))
+	return int(defaultWorkers.Load())
+}
+
+// SetWorkers overrides the default pool width; n < 1 restores the
+// environment default.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = envWorkers()
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// PanicError wraps a panic recovered from a work item.
+type PanicError struct {
+	// Index is the work-item index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: work item %d panicked: %v", e.Index, e.Value)
+}
+
+// call runs fn(i) converting panics into *PanicError.
+func call(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// ForEach runs fn(0) … fn(n-1) on the default pool width. See ForEachN.
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return ForEachN(ctx, 0, n, fn)
+}
+
+// ForEachN runs fn(0) … fn(n-1) on a pool of the given width (≤ 0 means
+// the default width). All items run unless an item fails or ctx is
+// cancelled, either of which stops the scheduling of new items (items
+// already running complete). The returned error is deterministic: the
+// lowest-index item error wins; a cancellation with no item error
+// returns ctx.Err(). With an effective width of 1 the items run inline
+// in index order and the first error returns immediately.
+func ForEachN(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := call(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := call(i, fn); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	var ctxErr error
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+schedule:
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			ctxErr = ctx.Err()
+			break
+		}
+		select {
+		case next <- i:
+		case <-done:
+			ctxErr = ctx.Err()
+			break schedule
+		}
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctxErr
+}
+
+// Map runs fn over 0 … n-1 on the default pool width and returns the
+// results merged by index (never by completion order). See ForEachN for
+// the error and cancellation semantics.
+func Map[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN[T](ctx, 0, n, fn)
+}
+
+// MapN is Map with an explicit pool width (≤ 0 means the default).
+func MapN[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachN(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefaultPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0) // restores the environment default
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0)", Workers())
+	}
+}
+
+// TestMapDeterministic checks the index-ordered merge: the result slice
+// must be identical for worker counts 1, 4 and 16.
+func TestMapDeterministic(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := MapN(context.Background(), workers, n, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var count atomic.Int64
+		if err := ForEachN(context.Background(), workers, 100, func(int) error {
+			count.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if count.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d items, want 100", workers, count.Load())
+		}
+	}
+}
+
+// TestLowestIndexErrorWins checks the deterministic error selection:
+// when several items fail, the lowest-index error is returned for every
+// pool width.
+func TestLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEachN(context.Background(), workers, 64, func(i int) error {
+			if i%7 == 3 { // items 3, 10, 17, … fail
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 3 failed", workers, err)
+		}
+	}
+}
+
+func TestPanicPropagatesAsError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEachN(context.Background(), workers, 16, func(i int) error {
+			if i == 5 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 5 || pe.Value != "boom" {
+			t.Fatalf("workers=%d: PanicError = {Index:%d Value:%v}", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError has no stack", workers)
+		}
+		if !strings.Contains(pe.Error(), "boom") {
+			t.Fatalf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+	}
+}
+
+// TestCancelStopsScheduling checks that a pre-cancelled context schedules
+// no work and that a mid-run cancellation stops new items promptly.
+func TestCancelStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var count atomic.Int64
+		err := ForEachN(ctx, workers, 100, func(int) error {
+			count.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count.Load() != 0 {
+			t.Fatalf("workers=%d: pre-cancelled context ran %d items", workers, count.Load())
+		}
+	}
+
+	// Mid-run: cancel once the first item starts. At most `workers` items
+	// beyond the in-flight ones can still be scheduled before the loop
+	// observes the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	err := ForEachN(ctx, 2, 10_000, func(int) error {
+		count.Add(1)
+		cancel()
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := count.Load(); got > 100 {
+		t.Fatalf("cancellation did not stop scheduling: ran %d of 10000 items", got)
+	}
+}
+
+func TestMapReturnsErrorNilResults(t *testing.T) {
+	got, err := Map(context.Background(), 8, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("no")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("Map = (%v, %v), want (nil, error)", got, err)
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}

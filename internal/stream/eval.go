@@ -8,11 +8,14 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 
 	"volcast/internal/codec"
 	"volcast/internal/core"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
+	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/trace"
 	"volcast/internal/vivo"
@@ -87,12 +90,14 @@ type Evaluator struct {
 // NewEvaluator wires an evaluator; the visibility pipeline is built on
 // the store's grid with default ViVo parameters.
 func NewEvaluator(store *vivo.Store, study *trace.Study, net *Network) *Evaluator {
+	pl := core.NewPlanner(net)
+	pl.Metrics = metrics.Default()
 	return &Evaluator{
 		Store:   store,
 		Vis:     vivo.New(store.Grid(), vivo.DefaultParams()),
 		Study:   study,
 		Net:     net,
-		planner: core.NewPlanner(net),
+		planner: pl,
 	}
 }
 
@@ -134,18 +139,30 @@ func (e *Evaluator) EvalFPS(cfg EvalConfig) (Result, error) {
 	for f := 0; f < frames; f++ {
 		positions := make([]geom.Vec3, cfg.Users)
 		reqs := make([]vivo.Request, cfg.Users)
-		bodies := make([]phy.Body, 0, cfg.Users)
+		bodies := make([]phy.Body, cfg.Users)
 		points := e.Store.PointsOracle(f)
-		maxPoints := 0
-		for u := 0; u < cfg.Users; u++ {
+		// Per-user frustum culling + visibility fans out on the par pool
+		// (the visibility pipeline only reads the grid and occupancy);
+		// slots fill by user index, then the max reduces sequentially.
+		userPoints := make([]int, cfg.Users)
+		if err := par.ForEach(context.Background(), cfg.Users, func(u int) error {
 			pose := e.Study.Traces[u].PoseAt(f)
 			positions[u] = pose.Pos
-			bodies = append(bodies, phy.DefaultBody(pose.Pos))
+			bodies[u] = phy.DefaultBody(pose.Pos)
 			reqs[u] = e.userRequest(cfg.Mode, f, pose)
-			if p := reqs[u].Points(points); p > maxPoints {
+			userPoints[u] = reqs[u].Points(points)
+			return nil
+		}); err != nil {
+			return Result{}, err
+		}
+		maxPoints := 0
+		for _, p := range userPoints {
+			if p > maxPoints {
 				maxPoints = p
 			}
 		}
+		// The planner mutates the network's blockage state, so planning
+		// itself stays sequential.
 		plan, err := e.planner.Plan(cfg.Mode, core.FrameInput{
 			Store: e.Store, Frame: f,
 			Requests: reqs, Positions: positions, Bodies: bodies,

@@ -1,12 +1,16 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"volcast/internal/abr"
 	"volcast/internal/codec"
 	"volcast/internal/core"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
+	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/pointcloud"
 	"volcast/internal/predict"
@@ -42,6 +46,9 @@ type SessionConfig struct {
 	Seed int64
 	// BufferSeconds is the client playback buffer capacity.
 	BufferSeconds float64
+	// Metrics receives per-step stage timings and counters (nil → the
+	// process-wide default registry).
+	Metrics *metrics.Registry
 }
 
 // QoE aggregates the session's quality-of-experience metrics.
@@ -81,6 +88,7 @@ type Session struct {
 	bwPred  []*abr.CrossLayer
 	quality []pointcloud.Quality
 	fading  []*phy.Fading
+	reg     *metrics.Registry
 }
 
 // NewSession validates the configuration and assembles a session.
@@ -105,6 +113,10 @@ func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, st
 	if cfg.BufferSeconds <= 0 {
 		cfg.BufferSeconds = 1.0
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
 	s := &Session{
 		cfg:     cfg,
 		stores:  stores,
@@ -115,7 +127,9 @@ func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, st
 		decode:  codec.DefaultDecodeRate(),
 		ctrl:    abr.NewController(abr.DefaultConfig()),
 		mpc:     abr.NewMPC(),
+		reg:     reg,
 	}
+	s.planner.Metrics = reg
 	for q, st := range stores {
 		s.visByQ[q] = vivo.New(st.Grid(), vivo.DefaultParams())
 	}
@@ -177,6 +191,7 @@ func (s *Session) Run() (QoE, error) {
 	horizon := 0.3
 
 	for step := 0; step < steps; step++ {
+		stepStart := time.Now()
 		poses := make([]geom.Pose, s.cfg.Users)
 		positions := make([]geom.Vec3, s.cfg.Users)
 		for u := 0; u < s.cfg.Users; u++ {
@@ -201,12 +216,14 @@ func (s *Session) Run() (QoE, error) {
 			}
 		}
 
-		// Per-user requests at their current quality.
+		// Per-user requests at their current quality. The visibility
+		// pipeline only reads shared state and each user's predictor is
+		// private, so the culling fans out on the par pool by user index;
+		// the stateful control reactions below stay sequential.
 		reqs := make([]vivo.Request, s.cfg.Users)
 		perUser := make([]core.FrameContent, s.cfg.Users)
-		beamSwitched := map[int]bool{}
-		rateOverride := map[int]float64{}
-		for u := 0; u < s.cfg.Users; u++ {
+		visDone := s.reg.Timer("session.visibility").Time()
+		if err := par.ForEach(context.Background(), s.cfg.Users, func(u int) error {
 			st := s.stores[s.quality[u]]
 			vis := s.visByQ[s.quality[u]]
 			fi := step % st.NumFrames()
@@ -222,9 +239,20 @@ func (s *Session) Run() (QoE, error) {
 				}
 				reqs[u] = vis.Request(occ, pose)
 			}
+			return nil
+		}); err != nil {
+			return q, err
+		}
+		visDone()
 
-			// Cross-layer reaction to predicted blockage.
+		// Cross-layer reaction to predicted blockage (sequential: the
+		// controller, buffers and QoE counters are shared state).
+		beamSwitched := map[int]bool{}
+		rateOverride := map[int]float64{}
+		for u := 0; u < s.cfg.Users; u++ {
 			if s.cfg.Predictive && futureBlocked[u] && s.net.Kind == NetAD {
+				st := s.stores[s.quality[u]]
+				fi := step % st.NumFrames()
 				bytes := reqs[u].Bytes(st.SizeOracle(fi))
 				st8 := abr.State{
 					PredictedMbps:       s.bwPred[u].Predict(),
@@ -329,6 +357,9 @@ func (s *Session) Run() (QoE, error) {
 		for u := 0; u < s.cfg.Users; u++ {
 			q.AvgQuality += float64(s.quality[u])
 		}
+		s.reg.Counter("session.steps").Inc()
+		s.reg.Histogram("session.step_ms", nil).
+			Observe(float64(time.Since(stepStart)) / float64(time.Millisecond))
 	}
 
 	for _, b := range s.buffers {

@@ -1,13 +1,15 @@
 package vivo
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"volcast/internal/cell"
 	"volcast/internal/codec"
+	"volcast/internal/metrics"
+	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
 
@@ -32,8 +34,9 @@ type Store struct {
 }
 
 // BuildStore partitions and encodes the whole video, spreading frames
-// across all CPUs (the encoder is stateless). The strides slice must
-// include 1 (full density); it is sorted and deduplicated.
+// across the par pool (the encoder is stateless). The strides slice must
+// include 1 (full density); it is sorted and deduplicated. Frame slots
+// are filled by index, so the store is identical for any pool width.
 func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides []int) (*Store, error) {
 	ss := dedupSorted(strides)
 	if len(ss) == 0 || ss[0] != 1 {
@@ -41,29 +44,19 @@ func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides [
 	}
 	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(v.Frames) {
-		workers = len(v.Frames)
+	reg := metrics.Default()
+	start := time.Now()
+	if err := par.ForEach(context.Background(), len(v.Frames), func(fi int) error {
+		t := time.Now()
+		st.frames[fi] = encodeFrame(v.Frames[fi], g, enc, ss)
+		reg.Histogram("vivo.encode_frame_ms", nil).
+			Observe(float64(time.Since(t)) / float64(time.Millisecond))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for fi := range next {
-				st.frames[fi] = encodeFrame(v.Frames[fi], g, enc, ss)
-			}
-		}()
-	}
-	for fi := range v.Frames {
-		next <- fi
-	}
-	close(next)
-	wg.Wait()
+	reg.Timer("vivo.build_store").Observe(time.Since(start))
+	reg.Counter("vivo.frames_encoded").Add(int64(len(v.Frames)))
 	return st, nil
 }
 
