@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/experiments"
@@ -130,6 +131,7 @@ func BenchmarkEncodeParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			par.SetWorkers(w)
 			enc := codec.NewEncoder(codec.DefaultParams())
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if blocks := enc.EncodeFrame(g, frame); len(blocks) == 0 {
 					b.Fatal("no blocks")
@@ -299,11 +301,73 @@ func BenchmarkCodecModes(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			enc := codec.NewEncoder(cfg.p)
 			var bytes int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s := codec.Measure(enc.EncodeFrame(g, frame))
 				bytes = s.Bytes
 			}
 			b.ReportMetric(float64(bytes*8)/float64(frame.Len()), "bits/pt")
 		})
+	}
+}
+
+// BenchmarkBuildStoreWarm measures rebuilding the content store when the
+// process-wide encode cache already holds every cell (a re-encode of an
+// unchanged video): each cell costs one content hash instead of a full
+// quantize+sort+code pass.
+func BenchmarkBuildStoreWarm(b *testing.B) {
+	video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+		Frames: 4, FPS: 30, PointsPerFrame: 60_000, Seed: 1, Sway: 1,
+	})
+	bounds, _ := video.Bounds()
+	g, err := cell.NewGrid(bounds, cell.Size50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer blockcache.SetBudgetMB(-1)
+	blockcache.SetBudgetMB(256)
+	enc := codec.NewEncoder(codec.DefaultParams())
+	if _, err := vivo.BuildStore(video, g, enc, []int{1, 2}); err != nil {
+		b.Fatal(err) // prime the encode tier
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vivo.BuildStore(video, g, enc, []int{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFrameCached measures re-decoding one encoded frame when
+// the decode cache already holds every block — the steady-state cost for
+// the second and later users of an overlapping viewport.
+func BenchmarkDecodeFrameCached(b *testing.B) {
+	video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+		Frames: 1, FPS: 30, PointsPerFrame: 100_000, Seed: 1, Sway: 1,
+	})
+	frame := video.Frames[0]
+	bounds, _ := frame.Bounds()
+	g, err := cell.NewGrid(bounds, cell.Size50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := codec.NewEncoder(codec.DefaultParams()).EncodeFrame(g, frame)
+	defer blockcache.SetBudgetMB(-1)
+	blockcache.SetBudgetMB(256)
+	dec := codec.Decoder{Cache: blockcache.Cells()}
+	for _, blk := range blocks {
+		if _, err := dec.Decode(blk.Data); err != nil {
+			b.Fatal(err) // prime the decode tier
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blocks {
+			if _, err := dec.Decode(blk.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/metrics"
@@ -35,11 +36,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "content seed")
 	load := flag.String("load", "", "serve a pre-encoded .vcstor container instead of synthesizing")
 	workers := flag.Int("workers", 0, "parallel pool width (0 = VOLCAST_WORKERS or GOMAXPROCS, 1 = sequential)")
+	cacheMB := flag.Int("cache", -1, "block cache budget in MB (-1 = VOLCAST_CACHE_MB or 64, 0 = disabled)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "metrics log interval (0 disables)")
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
+	blockcache.SetBudgetMB(*cacheMB)
 
 	var store *vivo.Store
 	if *load != "" {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	volsim [-stats] [-workers N] <subcommand> [flags]
+//	volsim [-stats] [-workers N] [-cache MB] <subcommand> [flags]
 //
 //	volsim table1 [-frames N] [-scale F]
 //	volsim fig2a  [-frames N]
@@ -13,7 +13,7 @@
 //	volsim fig3d  [-samples N]
 //	volsim fig3e  [-samples N]
 //	volsim all
-//	volsim session  [-users N] [-seconds S] [-multicast] [-custom] [-predictive]
+//	volsim session  [-users N] [-seconds S] [-multicast] [-custom] [-predictive] [-decode]
 //	volsim predeval [-frames N] [-users N]      viewport-prediction accuracy
 //	volsim multiap  [-users N] [-points N]      multi-AP spatial reuse sweep
 //	volsim ablate   [-users N] [-seconds S]     feature ablation (QoE per feature)
@@ -23,7 +23,9 @@
 // The global -stats flag dumps the process metrics registry (stage timers,
 // counters, per-layer latency histograms) to stderr after the subcommand
 // finishes; -workers N sets the parallel pool width (default GOMAXPROCS,
-// also settable via VOLCAST_WORKERS; 1 = fully sequential).
+// also settable via VOLCAST_WORKERS; 1 = fully sequential); -cache MB sets
+// the content-addressed block cache budget (default 64, also settable via
+// VOLCAST_CACHE_MB; 0 disables caching entirely).
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"strconv"
 	"time"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/experiments"
 	"volcast/internal/metrics"
 	"volcast/internal/par"
@@ -47,12 +50,12 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: volsim [-stats] [-workers N] <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: volsim [-stats] [-workers N] [-cache MB] <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
 	os.Exit(2)
 }
 
-// globalFlags strips the pre-subcommand -stats / -workers flags (the
-// subcommands own their local flag sets) and applies -workers.
+// globalFlags strips the pre-subcommand -stats / -workers / -cache flags
+// (the subcommands own their local flag sets) and applies them.
 func globalFlags(args []string) (rest []string, stats bool) {
 	for len(args) > 0 {
 		switch a := args[0]; {
@@ -68,6 +71,16 @@ func globalFlags(args []string) (rest []string, stats bool) {
 				usage()
 			}
 			par.SetWorkers(n)
+			args = args[2:]
+		case a == "-cache" || a == "--cache":
+			if len(args) < 2 {
+				usage()
+			}
+			mb, err := strconv.Atoi(args[1])
+			if err != nil || mb < 0 {
+				usage()
+			}
+			blockcache.SetBudgetMB(mb)
 			args = args[2:]
 		default:
 			return args, stats
@@ -309,6 +322,7 @@ func runSession(args []string) error {
 	multicastOn := fs.Bool("multicast", false, "enable multicast grouping")
 	custom := fs.Bool("custom", false, "enable custom multi-lobe beams")
 	predictive := fs.Bool("predictive", false, "enable prediction + proactive actions")
+	decode := fs.Bool("decode", false, "decode every delivered cell (client render path, shared decode cache)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -333,7 +347,7 @@ func runSession(args []string) error {
 	}
 	sess, err := stream.NewSession(stream.SessionConfig{
 		Users: *users, Seconds: *seconds, Mode: mode,
-		CustomBeams: *custom, Predictive: *predictive,
+		CustomBeams: *custom, Predictive: *predictive, DecodeClouds: *decode,
 		StartQuality: pointcloud.QualityLow,
 	}, map[pointcloud.Quality]*vivo.Store{pointcloud.QualityLow: store}, study, net)
 	if err != nil {
@@ -349,6 +363,16 @@ func runSession(args []string) error {
 	fmt.Printf("  multicast share  %.1f%%\n", q.MulticastShare*100)
 	fmt.Printf("  beam switches    %d\n", q.BeamSwitches)
 	fmt.Printf("  quality switches %d\n", q.QualitySwitches)
+	if *decode {
+		reg := metrics.Default()
+		hits := reg.Counter("blockcache.decode.hits").Value()
+		misses := reg.Counter("blockcache.decode.misses").Value()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses) * 100
+		}
+		fmt.Printf("  decode cache     %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, rate)
+	}
 	return nil
 }
 

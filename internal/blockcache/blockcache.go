@@ -1,0 +1,305 @@
+// Package blockcache is the content-addressed cell cache exploited by the
+// compute layer: the paper's observation that concurrent users share >50%
+// of visible cells (and that most cells are temporally static between
+// frames) means the same cell is encoded and decoded over and over. The
+// cache has two tiers keyed by 128-bit content hashes (codec.CacheKey):
+//
+//   - the encode tier memoizes encoded blocks by cell content, so
+//     vivo.BuildStore reuses the previous frame's block for temporally
+//     static cells instead of re-running the (triple, in Auto mode) coder;
+//   - the decode tier memoizes decoded cells by block bytes, so N users
+//     requesting the same overlapping cell decode it exactly once.
+//
+// Both tiers are size-bounded LRUs under one configurable byte budget
+// (VOLCAST_CACHE_MB, volsim/volserve -cache, SetBudgetMB; 0 disables) and
+// deduplicate concurrent computes of the same key singleflight-style.
+// Hit/miss/eviction/bytes-saved counters land in the process metrics
+// registry under blockcache.encode.* and blockcache.decode.*.
+package blockcache
+
+import (
+	"container/list"
+	"os"
+	"strconv"
+	"sync"
+
+	"volcast/internal/codec"
+	"volcast/internal/metrics"
+)
+
+// Cache is one content-addressed LRU tier: values are kept while their
+// summed sizes fit the byte budget, evicting least-recently-used first.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	name string
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[codec.CacheKey]*list.Element
+	inflight map[codec.CacheKey]*flight
+}
+
+type entry struct {
+	key  codec.CacheKey
+	size int64
+	val  any
+}
+
+// flight tracks one in-progress compute so concurrent requests for the
+// same key wait for it instead of duplicating the work.
+type flight struct {
+	done chan struct{}
+	val  any
+	size int64
+	err  error
+}
+
+// New returns a tier named name (the metrics label) holding at most
+// budget bytes. A nil registry records into the process default.
+func New(name string, budget int64, reg *metrics.Registry) *Cache {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	return &Cache{
+		name:     name,
+		reg:      reg,
+		budget:   budget,
+		ll:       list.New(),
+		items:    map[codec.CacheKey]*list.Element{},
+		inflight: map[codec.CacheKey]*flight{},
+	}
+}
+
+// counter resolves a tier counter lazily so a registry Reset (tests,
+// -stats runs) never detaches the cache from its instruments.
+func (c *Cache) counter(kind string) *metrics.Counter {
+	return c.reg.Counter("blockcache." + c.name + "." + kind)
+}
+
+// Used returns the bytes currently held.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached values.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// SetBudget changes the byte budget, evicting down to the new limit.
+func (c *Cache) SetBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	c.evictLocked()
+}
+
+// do returns the cached value for key, joins an in-flight compute for it,
+// or runs compute and caches a successful result. compute returns the
+// value, its accounted size in bytes, and an error (errors are returned
+// to every waiter and never cached).
+func (c *Cache) do(key codec.CacheKey, compute func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		c.counter("hits").Inc()
+		c.counter("bytes_saved").Add(e.size)
+		return e.val, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		c.counter("hits").Inc()
+		c.counter("bytes_saved").Add(fl.size)
+		return fl.val, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	c.counter("misses").Inc()
+
+	fl.val, fl.size, fl.err = compute()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.addLocked(key, fl.val, fl.size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// addLocked inserts a value (unless it alone exceeds the budget) and
+// evicts from the cold end until the budget holds again.
+func (c *Cache) addLocked(key codec.CacheKey, val any, size int64) {
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok { // lost a race with another insert
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, size: size, val: val})
+	c.used += size
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	for c.used > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.used -= e.size
+		c.counter("evictions").Inc()
+	}
+}
+
+// Accounted per-value overhead beyond the payload bytes: map entry, list
+// element, entry struct, block/cell headers. An estimate — the budget
+// bounds order-of-magnitude memory, not exact RSS.
+const entryOverhead = 160
+
+// decodedPointSize is the in-memory size of one pointcloud.Point
+// (three float64 coordinates plus RGB, padded).
+const decodedPointSize = 32
+
+// blockTier adapts a Cache to codec.BlockCache.
+type blockTier struct{ c *Cache }
+
+// Block implements codec.BlockCache.
+func (t blockTier) Block(key codec.CacheKey, encode func() *codec.Block) *codec.Block {
+	v, _ := t.c.do(key, func() (any, int64, error) {
+		b := encode()
+		return b, int64(len(b.Data)) + entryOverhead, nil
+	})
+	return v.(*codec.Block)
+}
+
+// cellTier adapts a Cache to codec.CellCache.
+type cellTier struct{ c *Cache }
+
+// Cell implements codec.CellCache.
+func (t cellTier) Cell(key codec.CacheKey, decode func() (*codec.DecodedCell, error)) (*codec.DecodedCell, error) {
+	v, err := t.c.do(key, func() (any, int64, error) {
+		dc, err := decode()
+		if err != nil {
+			return nil, 0, err
+		}
+		return dc, int64(len(dc.Points))*decodedPointSize + entryOverhead, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*codec.DecodedCell), nil
+}
+
+// BlockCacheOn adapts an explicit tier to codec.BlockCache (tests and
+// custom pipelines; the process-wide tier is Blocks).
+func BlockCacheOn(c *Cache) codec.BlockCache { return blockTier{c} }
+
+// CellCacheOn adapts an explicit tier to codec.CellCache.
+func CellCacheOn(c *Cache) codec.CellCache { return cellTier{c} }
+
+// DefaultBudgetMB is the combined byte budget (MB, split evenly between
+// the encode and decode tiers) used when VOLCAST_CACHE_MB is unset.
+const DefaultBudgetMB = 64
+
+// Process-wide tiers, built lazily at first use from the configured
+// budget (mirrors par's worker-width plumbing).
+var (
+	gMu       sync.Mutex
+	gBudgetMB = -1 // -1 = not yet resolved from the environment
+	gBlocks   *Cache
+	gCells    *Cache
+)
+
+// envBudgetMB resolves the initial budget: VOLCAST_CACHE_MB when it
+// parses as a non-negative integer, else DefaultBudgetMB.
+func envBudgetMB() int {
+	if s := os.Getenv("VOLCAST_CACHE_MB"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return DefaultBudgetMB
+}
+
+// BudgetMB returns the current combined budget in MB.
+func BudgetMB() int {
+	gMu.Lock()
+	defer gMu.Unlock()
+	return budgetLocked()
+}
+
+func budgetLocked() int {
+	if gBudgetMB < 0 {
+		gBudgetMB = envBudgetMB()
+	}
+	return gBudgetMB
+}
+
+// SetBudgetMB sets the combined budget in MB; 0 disables caching and
+// mb < 0 restores the environment default. Existing tiers shrink (or
+// grow) in place, so the knob works before or after stores are built.
+func SetBudgetMB(mb int) {
+	gMu.Lock()
+	defer gMu.Unlock()
+	if mb < 0 {
+		gBudgetMB = envBudgetMB()
+	} else {
+		gBudgetMB = mb
+	}
+	if gBlocks != nil {
+		gBlocks.SetBudget(tierBudget(gBudgetMB))
+	}
+	if gCells != nil {
+		gCells.SetBudget(tierBudget(gBudgetMB))
+	}
+}
+
+// tierBudget splits the combined MB budget evenly between the two tiers.
+func tierBudget(mb int) int64 { return int64(mb) << 20 / 2 }
+
+// Blocks returns the process-wide encode tier as a codec.BlockCache, or
+// nil when caching is disabled (budget 0).
+func Blocks() codec.BlockCache {
+	gMu.Lock()
+	defer gMu.Unlock()
+	if budgetLocked() == 0 {
+		return nil
+	}
+	if gBlocks == nil {
+		gBlocks = New("encode", tierBudget(gBudgetMB), nil)
+	}
+	return blockTier{gBlocks}
+}
+
+// Cells returns the process-wide decode tier as a codec.CellCache, or
+// nil when caching is disabled (budget 0).
+func Cells() codec.CellCache {
+	gMu.Lock()
+	defer gMu.Unlock()
+	if budgetLocked() == 0 {
+		return nil
+	}
+	if gCells == nil {
+		gCells = New("decode", tierBudget(gBudgetMB), nil)
+	}
+	return cellTier{gCells}
+}

@@ -40,6 +40,31 @@ var (
 	ErrBadGeometry = errors.New("codec: invalid geometry header")
 )
 
+// CacheKey is a 128-bit content address: two independently mixed 64-bit
+// FNV-style hashes over the same input (see hash.go). Cell content and
+// block bytes are addressed by CacheKey in the optional encode/decode
+// caches (internal/blockcache implements them).
+type CacheKey [2]uint64
+
+// BlockCache memoizes encoded blocks by cell-content key. Block either
+// returns the cached block for key or invokes encode, stores the result
+// and returns it. Implementations must be safe for concurrent use and
+// should deduplicate concurrent encodes of the same key. Cached blocks
+// are shared between callers and must be treated as immutable.
+type BlockCache interface {
+	Block(key CacheKey, encode func() *Block) *Block
+}
+
+// CellCache memoizes decoded cells by block-content key. Cell either
+// returns the cached cell for key or invokes decode, stores a successful
+// result and returns it (errors are never cached). Implementations must
+// be safe for concurrent use and should deduplicate concurrent decodes
+// of the same key. Cached cells are shared between callers and must be
+// treated as immutable.
+type CellCache interface {
+	Cell(key CacheKey, decode func() (*DecodedCell, error)) (*DecodedCell, error)
+}
+
 // Params configure the encoder.
 type Params struct {
 	// QuantBits is the per-axis position quantization depth inside a cell

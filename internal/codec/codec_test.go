@@ -303,6 +303,7 @@ func TestPropertyRoundTripCount(t *testing.T) {
 func BenchmarkEncodeFrame100K(b *testing.B) {
 	c, g := testFrameAndGrid(b, 100_000, 1)
 	enc := NewEncoder(DefaultParams())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = enc.EncodeFrame(g, c)
@@ -314,6 +315,7 @@ func BenchmarkDecodeFrame100K(b *testing.B) {
 	enc := NewEncoder(DefaultParams())
 	blocks := enc.EncodeFrame(g, c)
 	var dec Decoder
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dec.DecodeFrame(blocks); err != nil {

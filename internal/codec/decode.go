@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"math"
-	"sort"
+	"slices"
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
@@ -16,17 +16,36 @@ import (
 func checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
 // Decoder decompresses blocks produced by Encoder. Decoder is stateless
-// and safe for concurrent use.
-type Decoder struct{}
+// (apart from the optional cache) and safe for concurrent use; the zero
+// value is a valid uncached decoder.
+type Decoder struct {
+	// Cache, when non-nil, memoizes decoded cells by block content so N
+	// consumers of the same block (overlapping viewports, repeated frames)
+	// decode it once. Cached cells are shared and must not be mutated.
+	Cache CellCache
+}
 
-// DecodedCell is the result of decoding one block.
+// DecodedCell is the result of decoding one block. Cells returned by a
+// caching decoder are shared between callers — treat them as read-only.
 type DecodedCell struct {
 	CellID cell.ID
 	Points []pointcloud.Point
 }
 
 // Decode decodes a single encoded cell block, verifying the checksum.
+// With a Cache attached the block's content key is looked up first and
+// the decode is skipped on a hit.
 func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
+	if d.Cache != nil {
+		return d.Cache.Cell(HashBytes(data), func() (*DecodedCell, error) {
+			return d.decode(data)
+		})
+	}
+	return d.decode(data)
+}
+
+// decode is the uncached decode path.
+func (d *Decoder) decode(data []byte) (*DecodedCell, error) {
 	if len(data) < 4+4 {
 		return nil, ErrTruncated
 	}
@@ -95,12 +114,29 @@ func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
 		}
 	}
 	// Decode the three decorrelated channels (G, R-G, B-G), expanding
-	// zero-run pairs, then recombine into RGB.
-	chans := [3][]int64{}
-	for ch := 0; ch < 3; ch++ {
-		vals := make([]int64, count)
-		var prev int64
-		for i := uint64(0); i < count; {
+	// zero-run pairs. The luma plane arrives first and is kept in pooled
+	// scratch; the chroma residuals recombine into RGB as they stream in.
+	gp := getI64(int(count))
+	defer putI64(gp)
+	gvals := *gp
+	var ch int
+	var prev int64
+	var i uint64
+	emit := func(v int64) {
+		switch ch {
+		case 0:
+			gvals[i] = v
+			out.Points[i].G = uint8(clampI64(v, 0, 255))
+		case 1:
+			out.Points[i].R = uint8(clampI64(gvals[i]+v, 0, 255))
+		default:
+			out.Points[i].B = uint8(clampI64(gvals[i]+v, 0, 255))
+		}
+		i++
+	}
+	for ch = 0; ch < 3; ch++ {
+		prev, i = 0, 0
+		for i < count {
 			u, n := binary.Uvarint(p)
 			if n <= 0 {
 				return nil, ErrTruncated
@@ -113,22 +149,13 @@ func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
 				}
 				p = p[n:]
 				for j := uint64(0); j < run; j++ {
-					vals[i] = prev
-					i++
+					emit(prev)
 				}
 				continue
 			}
 			prev += unzigzag(u)
-			vals[i] = prev
-			i++
+			emit(prev)
 		}
-		chans[ch] = vals
-	}
-	for i := uint64(0); i < count; i++ {
-		g := chans[0][i]
-		out.Points[i].G = uint8(clampI64(g, 0, 255))
-		out.Points[i].R = uint8(clampI64(g+chans[1][i], 0, 255))
-		out.Points[i].B = uint8(clampI64(g+chans[2][i], 0, 255))
 	}
 	return out, nil
 }
@@ -148,7 +175,7 @@ func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, err
 		list = append(list, b)
 		total += b.NumPoints
 	}
-	sort.Slice(list, func(a, b int) bool { return list[a].CellID < list[b].CellID })
+	slices.SortFunc(list, func(a, b *Block) int { return int(a.CellID) - int(b.CellID) })
 	results, err := par.Map(context.Background(), len(list), func(i int) ([]pointcloud.Point, error) {
 		dc, err := d.Decode(list[i].Data)
 		if err != nil {
@@ -170,15 +197,19 @@ func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, err
 // and fills the output positions in Morton order.
 func decodeOctreePositions(p []byte, out *DecodedCell, count uint64, qb uint, origin geom.Vec3, scale float64, mode uint8) ([]byte, error) {
 	// The unique-code count is implied by the tree; decode up to `count`
-	// leaves (duplicates only ever reduce the unique count).
+	// leaves (duplicates only ever reduce the unique count). The code and
+	// count slices are per-decode scratch and come from the pool.
+	codesP := getU64(int(count))
+	defer putU64(codesP)
 	var rest []byte
 	var codes []uint64
 	var ok bool
 	if mode == ModeOctreeAC {
-		rest, codes, ok = octreeDecodeAC(p, int(count), qb)
+		rest, codes, ok = octreeDecodeAC(p, int(count), qb, *codesP)
 	} else {
-		rest, codes, ok = octreeDecodeBounded(p, int(count), qb)
+		rest, codes, ok = octreeDecodeBounded(p, int(count), qb, *codesP)
 	}
+	*codesP = codes[:0]
 	if !ok {
 		return nil, ErrTruncated
 	}
@@ -188,21 +219,24 @@ func decodeOctreePositions(p []byte, out *DecodedCell, count uint64, qb uint, or
 	}
 	dupFlag := p[0]
 	p = p[1:]
-	counts := make([]uint64, len(codes))
+	countsP := getU64(len(codes))
+	defer putU64(countsP)
+	counts := (*countsP)[:0]
 	if dupFlag == 1 {
-		for i := range counts {
+		for i := 0; i < len(codes); i++ {
 			c, n := binary.Uvarint(p)
 			if n <= 0 {
 				return nil, ErrTruncated
 			}
 			p = p[n:]
-			counts[i] = c + 1
+			counts = append(counts, c+1)
 		}
 	} else {
-		for i := range counts {
-			counts[i] = 1
+		for i := 0; i < len(codes); i++ {
+			counts = append(counts, 1)
 		}
 	}
+	*countsP = counts
 	pi := 0
 	for ci, code := range codes {
 		x, y, z := demorton3(code, qb)

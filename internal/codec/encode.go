@@ -1,10 +1,11 @@
 package codec
 
 import (
+	"cmp"
 	"context"
 	"encoding/binary"
 	"math"
-	"sort"
+	"slices"
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
@@ -37,10 +38,15 @@ type qpoint struct {
 	idx  int
 }
 
-// Encoder compresses cells of point-cloud frames. Encoder is stateless and
-// safe for concurrent use.
+// Encoder compresses cells of point-cloud frames. Encoder is stateless
+// (apart from the optional cache) and safe for concurrent use.
 type Encoder struct {
 	params Params
+	// Cache, when non-nil, memoizes encoded blocks by cell content so
+	// byte-identical cells (temporally static cells across frames, or the
+	// same cell encoded for several consumers) are encoded exactly once.
+	// Cached blocks are shared and must not be mutated.
+	Cache BlockCache
 }
 
 // NewEncoder returns an encoder with the given parameters; zero-value
@@ -55,24 +61,37 @@ func NewEncoder(p Params) *Encoder {
 	return &Encoder{params: p}
 }
 
-// EncodeCell encodes the points at the given indices of the cloud, which
-// must all lie inside cellBounds. In Auto mode both position coders run
-// and the smaller block wins.
-func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB) *Block {
-	if e.params.Auto {
-		best := (*Block)(nil)
-		for _, variant := range []Params{
-			{QuantBits: e.params.QuantBits},
-			{QuantBits: e.params.QuantBits, Octree: true},
-			{QuantBits: e.params.QuantBits, Octree: true, Arithmetic: true},
-		} {
-			blk := (&Encoder{params: variant}).EncodeCell(id, c, idxs, cellBounds)
-			if best == nil || blk.Size() < best.Size() {
-				best = blk
-			}
-		}
-		return best
+// Params returns the encoder's parameters.
+func (e *Encoder) Params() Params { return e.params }
+
+// Cached returns a copy of the encoder that memoizes blocks in c. A nil
+// cache returns the encoder unchanged.
+func (e *Encoder) Cached(c BlockCache) *Encoder {
+	if c == nil {
+		return e
 	}
+	cp := *e
+	cp.Cache = c
+	return &cp
+}
+
+// EncodeCell encodes the points at the given indices of the cloud, which
+// must all lie inside cellBounds. In Auto mode every position coder runs
+// and the smallest block wins. With a Cache attached, the cell's content
+// key is looked up first and the encode is skipped on a hit.
+func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB) *Block {
+	if e.Cache != nil {
+		return e.Cache.Block(e.cellKey(id, c, idxs, cellBounds), func() *Block {
+			return e.encodeCell(id, c, idxs, cellBounds)
+		})
+	}
+	return e.encodeCell(id, c, idxs, cellBounds)
+}
+
+// encodeCell is the uncached encode: quantize and Morton-sort the cell
+// once, then run the selected coder (or, in Auto mode, all three over the
+// same sorted scratch, recycling the losing output buffers).
+func (e *Encoder) encodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB) *Block {
 	qb := uint(e.params.QuantBits)
 	levels := uint64(1) << qb
 	edge := cellBounds.Size().X
@@ -88,7 +107,11 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 	inv := float64(levels-1) / edge
 
 	// Quantize each point to a Morton code for locality-friendly deltas.
-	qs := make([]qpoint, 0, len(idxs))
+	// The sort breaks code ties by source index, making the permutation
+	// canonical (independent of the sort algorithm).
+	qsp := getQpoints(len(idxs))
+	defer putQpoints(qsp)
+	qs := *qsp
 	for _, i := range idxs {
 		d := c.Points[i].Pos.Sub(cellBounds.Min)
 		x := quant(d.X*inv, levels)
@@ -96,18 +119,51 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 		z := quant(d.Z*inv, levels)
 		qs = append(qs, qpoint{code: morton3(x, y, z, qb), idx: i})
 	}
-	sort.Slice(qs, func(a, b int) bool { return qs[a].code < qs[b].code })
+	*qsp = qs
+	slices.SortFunc(qs, func(a, b qpoint) int {
+		if c := cmp.Compare(a.code, b.code); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 
+	if e.params.Auto {
+		best := []byte(nil)
+		for _, variant := range []Params{
+			{QuantBits: e.params.QuantBits},
+			{QuantBits: e.params.QuantBits, Octree: true},
+			{QuantBits: e.params.QuantBits, Octree: true, Arithmetic: true},
+		} {
+			buf := encodeSorted(variant, id, c, qs, cellBounds, edge)
+			switch {
+			case best == nil:
+				best = buf
+			case len(buf) < len(best):
+				putBuf(best)
+				best = buf
+			default:
+				putBuf(buf)
+			}
+		}
+		return &Block{CellID: id, NumPoints: len(qs), Data: best}
+	}
+	return &Block{CellID: id, NumPoints: len(qs), Data: encodeSorted(e.params, id, c, qs, cellBounds, edge)}
+}
+
+// encodeSorted serializes one block's bytes from the already quantized and
+// sorted points. The output buffer comes from the scratch pool; callers
+// that discard it must return it via putBuf.
+func encodeSorted(p Params, id cell.ID, c *pointcloud.Cloud, qs []qpoint, cellBounds geom.AABB, edge float64) []byte {
 	mode := ModeMorton
 	switch {
-	case e.params.Octree && e.params.Arithmetic, e.params.Arithmetic:
+	case p.Octree && p.Arithmetic, p.Arithmetic:
 		mode = ModeOctreeAC
-	case e.params.Octree:
+	case p.Octree:
 		mode = ModeOctree
 	}
-	buf := make([]byte, 0, 8+len(qs)*4)
+	buf := getBuf(8 + len(qs)*4)
 	buf = binary.LittleEndian.AppendUint16(buf, Magic)
-	buf = append(buf, Version, e.params.QuantBits, mode)
+	buf = append(buf, Version, p.QuantBits, mode)
 	buf = binary.AppendUvarint(buf, uint64(id))
 	buf = binary.AppendUvarint(buf, uint64(len(qs)))
 	buf = appendFloat32(buf, cellBounds.Min.X)
@@ -116,7 +172,7 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 	buf = appendFloat32(buf, edge)
 
 	if mode == ModeOctree || mode == ModeOctreeAC {
-		buf = appendOctreePositions(buf, qs, uint(e.params.QuantBits), mode)
+		buf = appendOctreePositions(buf, qs, uint(p.QuantBits), mode)
 	} else {
 		var prev uint64
 		for _, q := range qs {
@@ -146,7 +202,7 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 		buf = flushZeroRun(buf, &zrun)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, checksum(buf))
-	return &Block{CellID: id, NumPoints: len(qs), Data: buf}
+	return buf
 }
 
 // EncodeFrame partitions the cloud on the grid and encodes every occupied
@@ -159,7 +215,7 @@ func (e *Encoder) EncodeFrame(g *cell.Grid, c *pointcloud.Cloud) map[cell.ID]*Bl
 	for id := range parts {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	blocks, _ := par.Map(context.Background(), len(ids), func(i int) (*Block, error) {
 		id := ids[i]
 		return e.EncodeCell(id, c, parts[id], g.Bounds(id)), nil
@@ -174,8 +230,9 @@ func (e *Encoder) EncodeFrame(g *cell.Grid, c *pointcloud.Cloud) map[cell.ID]*Bl
 // appendOctreePositions emits the occupancy tree over the sorted codes
 // plus the duplicate-count stream.
 func appendOctreePositions(buf []byte, qs []qpoint, qb uint, mode uint8) []byte {
-	uniques := make([]uint64, 0, len(qs))
-	counts := make([]uint64, 0, len(qs))
+	up, cp := getU64(len(qs)), getU64(len(qs))
+	defer func() { putU64(up); putU64(cp) }()
+	uniques, counts := *up, *cp
 	hasDup := false
 	for i := 0; i < len(qs); {
 		j := i
@@ -189,6 +246,7 @@ func appendOctreePositions(buf []byte, qs []qpoint, qb uint, mode uint8) []byte 
 		}
 		i = j
 	}
+	*up, *cp = uniques, counts
 	if mode == ModeOctreeAC {
 		buf = octreeEncodeAC(buf, uniques, qb)
 	} else {

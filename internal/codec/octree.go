@@ -81,9 +81,10 @@ func octreeDecodeNode(buf []byte, shift int, prefix uint64, out *[]uint64, max i
 
 // octreeDecodeBounded decodes at most maxLeaves leaves; unlike
 // octreeDecode it tolerates the leaf count being smaller than the point
-// count (duplicates collapse into one leaf).
-func octreeDecodeBounded(buf []byte, maxLeaves int, qb uint) (rest []byte, codes []uint64, ok bool) {
-	codes = make([]uint64, 0, maxLeaves)
+// count (duplicates collapse into one leaf). The leaves accumulate into
+// scratch (grown as needed), so callers can recycle the backing array.
+func octreeDecodeBounded(buf []byte, maxLeaves int, qb uint, scratch []uint64) (rest []byte, codes []uint64, ok bool) {
+	codes = scratch[:0]
 	rest, ok = octreeDecodeNode(buf, 3*int(qb)-3, 0, &codes, maxLeaves)
 	if !ok {
 		return nil, nil, false

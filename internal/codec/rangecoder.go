@@ -128,14 +128,6 @@ const occCtxCount = 8 * 8 * 8
 
 type occModel [occCtxCount]prob
 
-func newOccModel() *occModel {
-	var m occModel
-	for i := range m {
-		m[i] = probInit
-	}
-	return &m
-}
-
 func occCtx(depth, bitIdx, setSoFar int) int {
 	if depth > 7 {
 		depth = 7
@@ -150,10 +142,10 @@ func occCtx(depth, bitIdx, setSoFar int) int {
 // unique codes, prefixed by a uvarint byte length so the decoder knows
 // where the raw tail (dup counts) begins.
 func octreeEncodeAC(buf []byte, codes []uint64, qb uint) []byte {
-	enc := newRCEncoder()
-	m := newOccModel()
-	octreeNodeAC(enc, m, codes, 3*int(qb)-3, 0)
-	stream := enc.finish()
+	s := getAC()
+	defer putAC(s)
+	octreeNodeAC(&s.enc, &s.m, codes, 3*int(qb)-3, 0)
+	stream := s.enc.finish()
 	buf = appendUvarintLen(buf, stream)
 	return append(buf, stream...)
 }
@@ -198,7 +190,7 @@ func octreeNodeAC(enc *rcEncoder, m *occModel, codes []uint64, shift, depth int)
 
 // octreeDecodeAC reads the range-coded occupancy stream (length-prefixed)
 // back into sorted Morton codes.
-func octreeDecodeAC(buf []byte, maxLeaves int, qb uint) (rest []byte, codes []uint64, ok bool) {
+func octreeDecodeAC(buf []byte, maxLeaves int, qb uint, scratch []uint64) (rest []byte, codes []uint64, ok bool) {
 	// uvarint length prefix.
 	var n uint64
 	var shift uint
@@ -220,10 +212,15 @@ func octreeDecodeAC(buf []byte, maxLeaves int, qb uint) (rest []byte, codes []ui
 	}
 	stream := buf[i : i+int(n)]
 	rest = buf[i+int(n):]
-	dec := newRCDecoder(stream)
-	m := newOccModel()
-	codes = make([]uint64, 0, maxLeaves)
-	if !octreeDecodeNodeAC(dec, m, 3*int(qb)-3, 0, 0, &codes, maxLeaves) || dec.bad {
+	s := getAC()
+	defer putAC(s)
+	s.dec = rcDecoder{rng: 0xFFFFFFFF, in: stream}
+	s.dec.nextByte() // first emitted byte is always 0
+	for j := 0; j < 4; j++ {
+		s.dec.code = s.dec.code<<8 | uint32(s.dec.nextByte())
+	}
+	codes = scratch[:0]
+	if !octreeDecodeNodeAC(&s.dec, &s.m, 3*int(qb)-3, 0, 0, &codes, maxLeaves) || s.dec.bad {
 		return nil, nil, false
 	}
 	return rest, codes, true

@@ -123,17 +123,20 @@ func overlapBytes(store *vivo.Store, frame int, reqs []vivo.Request, members []i
 	if len(members) == 0 {
 		return 0
 	}
-	common := map[cell.ID]int{} // cell -> min stride among members
-	first := true
-	for _, m := range members {
-		cur := map[cell.ID]int{}
+	// Seed from the first member, then intersect in place; the temporary
+	// map per further member is sized up front, and an emptied
+	// intersection short-circuits the remaining members.
+	common := make(map[cell.ID]int, len(reqs[members[0]].Cells)) // cell -> min stride
+	for _, c := range reqs[members[0]].Cells {
+		common[c.ID] = c.Stride
+	}
+	for _, m := range members[1:] {
+		if len(common) == 0 {
+			return 0
+		}
+		cur := make(map[cell.ID]int, len(reqs[m].Cells))
 		for _, c := range reqs[m].Cells {
 			cur[c.ID] = c.Stride
-		}
-		if first {
-			common = cur
-			first = false
-			continue
 		}
 		for id, st := range common {
 			st2, ok := cur[id]

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/par"
 )
 
@@ -56,6 +57,60 @@ func TestWorkerCountParity(t *testing.T) {
 	for name, want := range seq {
 		if got := wide[name]; got != want {
 			t.Errorf("%s: workers=8 output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", name, want, got)
+		}
+	}
+}
+
+// TestCacheParity is the block-cache equivalence guarantee: experiments
+// must render byte-identically with the content-addressed cache disabled,
+// enabled, and enabled while the par pool runs wide (cache + concurrency
+// together). A cache hit must be indistinguishable from a re-encode.
+func TestCacheParity(t *testing.T) {
+	defer blockcache.SetBudgetMB(-1)
+	defer par.SetWorkers(0)
+
+	render := func(t *testing.T) map[string]string {
+		t.Helper()
+		out := map[string]string{}
+
+		rows, err := Table1(Table1Config{
+			Frames: 2, Seed: 1, Scale: 0.05, MaxADUsers: 2, MaxACUsers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table1"] = RenderTable1(rows)
+
+		curves, err := Fig2b(Fig2Config{
+			Frames: 30, Seed: 1, ScenePoints: 8_000, UsersPerGroup: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := make([]string, len(curves))
+		vals := make([][]float64, len(curves))
+		for i, c := range curves {
+			labels[i], vals[i] = c.Label, c.IoUs
+		}
+		out["fig2b"] = RenderCDF(labels, vals)
+
+		return out
+	}
+
+	par.SetWorkers(1)
+	blockcache.SetBudgetMB(0)
+	off := render(t)
+	blockcache.SetBudgetMB(64)
+	on := render(t)
+	par.SetWorkers(8)
+	onWide := render(t)
+
+	for name, want := range off {
+		if got := on[name]; got != want {
+			t.Errorf("%s: cache=64MB output differs from cache=off:\n--- off ---\n%s\n--- on ---\n%s", name, want, got)
+		}
+		if got := onWide[name]; got != want {
+			t.Errorf("%s: cache=64MB workers=8 output differs from cache=off:\n--- off ---\n%s\n--- on+wide ---\n%s", name, want, got)
 		}
 	}
 }

@@ -15,7 +15,7 @@ package multicast
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // User is one streaming client from the scheduler's point of view.
@@ -130,7 +130,7 @@ func (p *Problem) Greedy() ([][]int, error) {
 			break
 		}
 		merged := append(append([]int{}, plan[bestA]...), plan[bestB]...)
-		sort.Ints(merged)
+		slices.Sort(merged)
 		// Remove b first (higher index), then replace a.
 		plan = append(plan[:bestB], plan[bestB+1:]...)
 		times = append(times[:bestB], times[bestB+1:]...)
@@ -209,13 +209,13 @@ func membersOf(mask int) []int {
 
 func sortPlan(plan [][]int) {
 	for _, g := range plan {
-		sort.Ints(g)
+		slices.Sort(g)
 	}
-	sort.Slice(plan, func(a, b int) bool {
-		if len(plan[a]) == 0 || len(plan[b]) == 0 {
-			return len(plan[a]) > len(plan[b])
+	slices.SortStableFunc(plan, func(a, b []int) int {
+		if len(a) == 0 || len(b) == 0 {
+			return len(b) - len(a)
 		}
-		return plan[a][0] < plan[b][0]
+		return a[0] - b[0]
 	})
 }
 

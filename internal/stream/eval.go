@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/core"
 	"volcast/internal/geom"
@@ -62,6 +63,10 @@ type EvalConfig struct {
 	CustomBeams bool
 	// DecodeRate is the client decode capability (zero = paper default).
 	DecodeRate codec.DecodeRate
+	// DecodeClouds makes the evaluation decode every requested cell per
+	// user through the shared content-addressed decode cache (off, the
+	// evaluation only accounts bytes — the paper's methodology).
+	DecodeClouds bool
 }
 
 // Result summarizes an evaluation.
@@ -85,6 +90,7 @@ type Evaluator struct {
 	Net   *Network
 
 	planner *core.Planner
+	decoder codec.Decoder
 }
 
 // NewEvaluator wires an evaluator; the visibility pipeline is built on
@@ -98,6 +104,7 @@ func NewEvaluator(store *vivo.Store, study *trace.Study, net *Network) *Evaluato
 		Study:   study,
 		Net:     net,
 		planner: pl,
+		decoder: codec.Decoder{Cache: blockcache.Cells()},
 	}
 }
 
@@ -151,6 +158,20 @@ func (e *Evaluator) EvalFPS(cfg EvalConfig) (Result, error) {
 			bodies[u] = phy.DefaultBody(pose.Pos)
 			reqs[u] = e.userRequest(cfg.Mode, f, pose)
 			userPoints[u] = reqs[u].Points(points)
+			if cfg.DecodeClouds {
+				// Client render path: the shared cache's singleflight
+				// dedup decodes each distinct block once per frame even
+				// though every overlapping user requests it.
+				for _, cr := range reqs[u].Cells {
+					blk := e.Store.Block(f, cr.ID, cr.Stride)
+					if blk == nil {
+						continue
+					}
+					if _, err := e.decoder.Decode(blk.Data); err != nil {
+						return err
+					}
+				}
+			}
 			return nil
 		}); err != nil {
 			return Result{}, err

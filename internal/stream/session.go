@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"volcast/internal/abr"
+	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/core"
 	"volcast/internal/geom"
@@ -39,6 +40,11 @@ type SessionConfig struct {
 	// the rule-based cross-layer controller (an ablation knob; both read
 	// the same cross-layer bandwidth prediction).
 	UseMPC bool
+	// DecodeClouds makes the session actually decode every delivered cell
+	// per user each step (the client render path), through the shared
+	// content-addressed decode cache: overlapping viewports and repeated
+	// frames decode each distinct block once instead of once per user.
+	DecodeClouds bool
 	// Fading adds seeded small-scale RSS fading per link (σ≈1.5 dB),
 	// exercising the rate-adaptation loop with realistic fluctuation.
 	Fading bool
@@ -81,6 +87,7 @@ type Session struct {
 	net     *Network
 	planner *core.Planner
 	decode  codec.DecodeRate
+	decoder codec.Decoder
 	joint   *predict.Joint
 	ctrl    *abr.Controller
 	mpc     *abr.MPC
@@ -125,6 +132,7 @@ func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, st
 		net:     net,
 		planner: core.NewPlanner(net),
 		decode:  codec.DefaultDecodeRate(),
+		decoder: codec.Decoder{Cache: blockcache.Cells()},
 		ctrl:    abr.NewController(abr.DefaultConfig()),
 		mpc:     abr.NewMPC(),
 		reg:     reg,
@@ -317,6 +325,38 @@ func (s *Session) Run() (QoE, error) {
 			}
 		}
 		fpsSum += frameFrac * 30
+
+		// Client render path: decode each user's delivered cells through
+		// the shared decode cache. Users fan out on the par pool; the
+		// cache's singleflight dedup guarantees each distinct block is
+		// decoded once per frame no matter how many viewports overlap.
+		if s.cfg.DecodeClouds {
+			decodeDone := s.reg.Timer("session.decode").Time()
+			perUserPts := make([]int64, s.cfg.Users)
+			if err := par.ForEach(context.Background(), s.cfg.Users, func(u int) error {
+				st, fi := perUser[u].Store, perUser[u].Frame
+				for _, cr := range reqs[u].Cells {
+					blk := st.Block(fi, cr.ID, cr.Stride)
+					if blk == nil {
+						continue
+					}
+					dc, err := s.decoder.Decode(blk.Data)
+					if err != nil {
+						return err
+					}
+					perUserPts[u] += int64(len(dc.Points))
+				}
+				return nil
+			}); err != nil {
+				return q, err
+			}
+			decodeDone()
+			var pts int64
+			for _, p := range perUserPts {
+				pts += p
+			}
+			s.reg.Counter("session.decoded_points").Add(pts)
+		}
 
 		// Buffers: each user receives frameFrac frames of playback.
 		for u := 0; u < s.cfg.Users; u++ {

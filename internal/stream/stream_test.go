@@ -3,9 +3,11 @@ package stream
 import (
 	"testing"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
 	"volcast/internal/pointcloud"
 	"volcast/internal/trace"
 	"volcast/internal/vivo"
@@ -233,6 +235,42 @@ func TestSessionPredictiveBeamSwitches(t *testing.T) {
 	}
 	// No assertion on the count (depends on geometry); the test guards
 	// the predictive path against panics and deadlocks.
+}
+
+func TestSessionDecodeCacheSharedAcrossUsers(t *testing.T) {
+	// Two users watching the same scene overlap heavily (the paper's
+	// premise); with DecodeClouds on, the second user's overlapping cells
+	// must come out of the shared decode cache, so the hit counter climbs.
+	defer blockcache.SetBudgetMB(-1)
+	blockcache.SetBudgetMB(64)
+	reg := metrics.Default()
+	hits0 := reg.Counter("blockcache.decode.hits").Value()
+	misses0 := reg.Counter("blockcache.decode.misses").Value()
+
+	store, study := testWorld(t, 10, 30_000)
+	ad, _ := NewAD()
+	stores := map[pointcloud.Quality]*vivo.Store{pointcloud.QualityLow: store}
+	sess, err := NewSession(SessionConfig{
+		Users: 2, Seconds: 1, Mode: ModeViVo, DecodeClouds: true,
+		StartQuality: pointcloud.QualityLow,
+	}, stores, study, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hits := reg.Counter("blockcache.decode.hits").Value() - hits0
+	misses := reg.Counter("blockcache.decode.misses").Value() - misses0
+	if misses == 0 {
+		t.Fatal("no decode-cache misses: DecodeClouds did not decode anything")
+	}
+	if hits == 0 {
+		t.Error("no decode-cache hits across 2 overlapping users")
+	}
+	if pts := reg.Counter("session.decoded_points").Value(); pts == 0 {
+		t.Error("no decoded points accounted")
+	}
 }
 
 func TestModeString(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
 	"volcast/internal/trace"
@@ -117,8 +118,10 @@ func RunClient(ctx context.Context, cfg ClientConfig) (ClientStats, error) {
 		}
 	}()
 
-	// Receiver until the deadline.
-	var dec codec.Decoder
+	// Receiver until the deadline. Decoding runs through the shared
+	// content-addressed cache: temporally static cells repeat byte-
+	// identical blocks across frames and decode only once.
+	dec := codec.Decoder{Cache: blockcache.Cells()}
 	start := time.Now()
 recv:
 	for {

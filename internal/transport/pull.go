@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
@@ -88,7 +89,7 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	}
 
 	deadline := time.Now().Add(cfg.Duration)
-	var dec codec.Decoder
+	dec := codec.Decoder{Cache: blockcache.Cells()}
 	start := time.Now()
 	frame := uint32(0)
 	interval := time.Second / time.Duration(fps)

@@ -106,6 +106,7 @@ func TestContainerRejectsCorruptLengths(t *testing.T) {
 
 func BenchmarkWriteStore(b *testing.B) {
 	st := buildTestStore(b, 2, 20_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
@@ -122,6 +123,7 @@ func BenchmarkReadStore(b *testing.B) {
 		b.Fatal(err)
 	}
 	raw := buf.Bytes()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReadStore(bytes.NewReader(raw)); err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/metrics"
@@ -37,10 +38,18 @@ type Store struct {
 // across the par pool (the encoder is stateless). The strides slice must
 // include 1 (full density); it is sorted and deduplicated. Frame slots
 // are filled by index, so the store is identical for any pool width.
+//
+// Unless the encoder already carries a cache, encoding runs through the
+// process-wide content-addressed encode tier (internal/blockcache), so
+// temporally static cells are encoded once and reused across frames.
+// Caching never changes the stored bytes — only whether the coder reruns.
 func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides []int) (*Store, error) {
 	ss := dedupSorted(strides)
 	if len(ss) == 0 || ss[0] != 1 {
 		return nil, fmt.Errorf("vivo: strides must include 1, got %v", strides)
+	}
+	if enc.Cache == nil {
+		enc = enc.Cached(blockcache.Blocks())
 	}
 	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
 
