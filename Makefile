@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# bench snapshots the benchmark suite as $(BENCH_OUT) for cross-commit
+# diffing; benchjson echoes the run and fails when nothing parsed (so the
+# pipe cannot hide a broken bench run).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# trace-smoke runs a tiny traced session and lints the Perfetto dump:
+# it must parse, cover >= 6 pipeline stages per frame, and attribute
+# every deadline miss to a stage.
+trace-smoke:
+	$(GO) run ./cmd/volsim -trace /tmp/volsim-trace.json session -users 2 -seconds 1 -points 20000 -multicast -decode
+	$(GO) run ./cmd/tracelint -min-stages 6 /tmp/volsim-trace.json
 
 # verify is the CI gate: static checks, a full build, and the test suite
 # under the race detector (the parallel execution substrate makes -race

@@ -1,0 +1,152 @@
+// Command tracelint validates a volcast Perfetto trace dump (volsim
+// -trace, volserve /trace): the file must parse as Chrome trace_event
+// JSON, contain complete ("X") spans, cover at least -min-stages distinct
+// pipeline stages on every fully-captured user frame, and name a
+// responsible stage in every deadline-miss report. CI runs it on a small
+// volsim session to keep the tracing pipeline honest end to end.
+//
+// Usage:
+//
+//	tracelint [-min-stages 6] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// traceEvent is the subset of the trace_event schema the linter reads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// missReport is one deadlineMisses entry.
+type missReport struct {
+	Frame   int     `json:"frame"`
+	User    int     `json:"user"`
+	TotalMS float64 `json:"total_ms"`
+	Slowest string  `json:"slowest"`
+}
+
+// traceFile is the dump's object form.
+type traceFile struct {
+	TraceEvents    []traceEvent `json:"traceEvents"`
+	DeadlineMS     float64      `json:"deadlineMs"`
+	DeadlineMisses []missReport `json:"deadlineMisses"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracelint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	minStages := flag.Int("min-stages", 6, "minimum distinct stages per fully-captured user frame (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: tracelint [-min-stages N] trace.json")
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid trace_event JSON: %v", path, err)
+	}
+
+	// Per-frame distinct stage names, and which frames have user-track
+	// (pid > 1) spans — the frames a viewer actually experienced.
+	frameStages := map[int]map[string]bool{}
+	userFrame := map[int]bool{}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		f, ok := ev.Args["frame"].(float64)
+		if !ok || f < 0 {
+			continue
+		}
+		fr := int(f)
+		if frameStages[fr] == nil {
+			frameStages[fr] = map[string]bool{}
+		}
+		frameStages[fr][ev.Name] = true
+		if ev.PID > 1 {
+			userFrame[fr] = true
+		}
+	}
+	if spans == 0 {
+		fail("%s: no complete (\"X\") spans", path)
+	}
+
+	// The ring buffer may have truncated the oldest frame and the run may
+	// have cut off the newest mid-frame, so the strict stage-coverage
+	// check skips the boundary frames.
+	minF, maxF := -1, -1
+	for f := range userFrame {
+		if minF < 0 || f < minF {
+			minF = f
+		}
+		if f > maxF {
+			maxF = f
+		}
+	}
+	checked, worst, worstFrame := 0, -1, -1
+	if *minStages > 0 {
+		if len(userFrame) == 0 {
+			fail("%s: no user-track frames to check stage coverage on", path)
+		}
+		for f := range userFrame {
+			if f == minF || f == maxF {
+				continue
+			}
+			n := len(frameStages[f])
+			checked++
+			if worst < 0 || n < worst {
+				worst, worstFrame = n, f
+			}
+		}
+		if checked == 0 {
+			// A one- or two-frame trace has no interior frames: check the
+			// best-covered frame instead of skipping validation entirely.
+			for f := range userFrame {
+				if n := len(frameStages[f]); n > worst {
+					worst, worstFrame = n, f
+				}
+			}
+			checked = 1
+		}
+		if worst < *minStages {
+			fail("%s: frame %d covers %d distinct stages, want >= %d (got %v)",
+				path, worstFrame, worst, *minStages, keys(frameStages[worstFrame]))
+		}
+	}
+
+	for _, m := range tf.DeadlineMisses {
+		if m.Slowest == "" {
+			fail("%s: deadline miss (frame %d, user %d) names no responsible stage", path, m.Frame, m.User)
+		}
+	}
+
+	fmt.Printf("tracelint: %s ok — %d spans, %d user frames (%d checked, min %d stages), %d deadline misses attributed\n",
+		path, spans, len(userFrame), checked, worst, len(tf.DeadlineMisses))
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

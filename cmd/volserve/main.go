@@ -6,12 +6,15 @@
 //
 //	volserve [-addr :7272] [-frames 90] [-points 100000] [-performers 3] [-vanilla]
 //	volserve -load content.vcstor            # serve pre-encoded content (volpack)
+//	volserve -debug-addr :7273               # live /metrics, /trace, /qoe, pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +24,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/transport"
@@ -38,11 +42,18 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel pool width (0 = VOLCAST_WORKERS or GOMAXPROCS, 1 = sequential)")
 	cacheMB := flag.Int("cache", -1, "block cache budget in MB (-1 = VOLCAST_CACHE_MB or 64, 0 = disabled)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "metrics log interval (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, /qoe and pprof on this address (enables the pipeline tracer)")
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
 	blockcache.SetBudgetMB(*cacheMB)
+	if *debugAddr != "" {
+		// The tracer rides along with the debug endpoint: installing it
+		// process-wide makes every layer (store build, push loop, writers)
+		// record spans that /trace and /qoe then serve live.
+		obs.SetDefault(obs.New(1 << 17))
+	}
 
 	var store *vivo.Store
 	if *load != "" {
@@ -58,6 +69,7 @@ func main() {
 		log.Printf("volserve: loaded %s", *load)
 	} else {
 		log.Printf("volserve: generating %d frames × %d points…", *frames, *points)
+		gen := obs.Default().Begin(-1, obs.PipelineUser, obs.StageGenerate)
 		var video *pointcloud.Video
 		if *performers <= 1 {
 			video = pointcloud.SynthVideo(pointcloud.SynthConfig{
@@ -66,6 +78,7 @@ func main() {
 		} else {
 			video = pointcloud.SynthScene(pointcloud.DefaultSceneConfig(*frames, *points, *seed))
 		}
+		gen.End()
 		b, ok := video.Bounds()
 		if !ok {
 			log.Fatal("volserve: empty video")
@@ -92,15 +105,45 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
 	log.Printf("volserve: listening on %s (%d workers)", <-ready, par.Workers())
 
-	if *statsEvery > 0 {
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:    *debugAddr,
+			Handler: obs.NewDebugMux(obs.DebugConfig{}),
+		}
 		go func() {
-			for range time.Tick(*statsEvery) {
-				if s := metrics.Default().String(); s != "" {
-					log.Printf("volserve: metrics\n%s", s)
-				}
+			log.Printf("volserve: debug endpoint on %s (/metrics /trace /qoe /debug/pprof/)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("volserve: debug endpoint: %v", err)
 			}
 		}()
 	}
+
+	// Stats logger: a stoppable ticker (a bare time.Tick would leak past
+	// shutdown) reporting per-interval deltas — rates, not lifetime totals.
+	stopStats := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		if *statsEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		prev := metrics.Default().Snapshot()
+		for {
+			select {
+			case <-stopStats:
+				return
+			case <-ticker.C:
+			}
+			cur := metrics.Default().Snapshot()
+			if s := cur.Delta(prev).String(); s != "" {
+				log.Printf("volserve: metrics (last %v)\n%s", *statsEvery, s)
+			}
+			prev = cur
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -108,6 +151,13 @@ func main() {
 	case s := <-sig:
 		fmt.Println()
 		log.Printf("volserve: %v — shutting down", s)
+		close(stopStats)
+		<-statsDone
+		if debugSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			debugSrv.Shutdown(ctx)
+			cancel()
+		}
 		srv.Shutdown()
 	case err := <-errCh:
 		if err != nil {

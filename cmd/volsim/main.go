@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	volsim [-stats] [-workers N] [-cache MB] <subcommand> [flags]
+//	volsim [-stats] [-workers N] [-cache MB] [-trace out.json] <subcommand> [flags]
 //
 //	volsim table1 [-frames N] [-scale F]
 //	volsim fig2a  [-frames N]
@@ -25,7 +25,9 @@
 // finishes; -workers N sets the parallel pool width (default GOMAXPROCS,
 // also settable via VOLCAST_WORKERS; 1 = fully sequential); -cache MB sets
 // the content-addressed block cache budget (default 64, also settable via
-// VOLCAST_CACHE_MB; 0 disables caching entirely).
+// VOLCAST_CACHE_MB; 0 disables caching entirely); -trace out.json enables
+// the per-frame pipeline tracer and writes the run as Chrome/Perfetto
+// trace_event JSON (open in ui.perfetto.dev or chrome://tracing).
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	"volcast/internal/blockcache"
 	"volcast/internal/experiments"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 	"volcast/internal/stream"
@@ -50,13 +53,15 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: volsim [-stats] [-workers N] [-cache MB] <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: volsim [-stats] [-workers N] [-cache MB] [-trace out.json] <table1|fig2a|fig2b|fig3b|fig3d|fig3e|all|session|predeval|multiap|ablate|gcr|codec> [flags]")
 	os.Exit(2)
 }
 
-// globalFlags strips the pre-subcommand -stats / -workers / -cache flags
-// (the subcommands own their local flag sets) and applies them.
-func globalFlags(args []string) (rest []string, stats bool) {
+// globalFlags strips the pre-subcommand -stats / -workers / -cache /
+// -trace flags (the subcommands own their local flag sets) and applies
+// them. -trace installs the process tracer, so every layer below starts
+// recording spans.
+func globalFlags(args []string) (rest []string, stats bool, tracePath string) {
 	for len(args) > 0 {
 		switch a := args[0]; {
 		case a == "-stats" || a == "--stats":
@@ -82,15 +87,49 @@ func globalFlags(args []string) (rest []string, stats bool) {
 			}
 			blockcache.SetBudgetMB(mb)
 			args = args[2:]
+		case a == "-trace" || a == "--trace":
+			if len(args) < 2 || args[1] == "" {
+				usage()
+			}
+			tracePath = args[1]
+			obs.SetDefault(obs.New(1 << 18))
+			args = args[2:]
 		default:
-			return args, stats
+			return args, stats, tracePath
 		}
 	}
-	return args, stats
+	return args, stats, tracePath
+}
+
+// writeTrace dumps the process tracer as Perfetto trace_event JSON and
+// prints a one-line summary to stderr.
+func writeTrace(path string) error {
+	tr := obs.Default()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	misses := 0
+	reports := tr.Analyze()
+	for _, r := range reports {
+		if r.Missed {
+			misses++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "volsim: trace %s: %d spans held (%d recorded), %d frame rows, %d deadline misses\n",
+		path, tr.Len(), tr.Total(), len(reports), misses)
+	return nil
 }
 
 func main() {
-	args, stats := globalFlags(os.Args[1:])
+	args, stats, tracePath := globalFlags(os.Args[1:])
 	if len(args) < 1 {
 		usage()
 	}
@@ -129,6 +168,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volsim:", err)
 		os.Exit(1)
+	}
+	if tracePath != "" {
+		if err := writeTrace(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "volsim: trace:", err)
+			os.Exit(1)
+		}
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "== metrics (%d workers) ==\n%s", par.Workers(), metrics.Default().String())
@@ -326,7 +371,9 @@ func runSession(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
+	gen := obs.Default().Begin(-1, obs.PipelineUser, obs.StageGenerate)
 	video := pointcloud.SynthScene(pointcloud.DefaultSceneConfig(30, *points, *seed))
+	gen.End()
 	b, _ := video.Bounds()
 	g, err := cell.NewGrid(b, cell.Size50)
 	if err != nil {

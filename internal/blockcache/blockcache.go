@@ -22,9 +22,11 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"volcast/internal/codec"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 )
 
 // Cache is one content-addressed LRU tier: values are kept while their
@@ -130,7 +132,15 @@ func (c *Cache) do(key codec.CacheKey, compute func() (any, int64, error)) (any,
 	c.mu.Unlock()
 	c.counter("misses").Inc()
 
-	fl.val, fl.size, fl.err = compute()
+	// A miss runs the real encode/decode work: attribute it to the cache
+	// stage on the process tracer (hits are ~ns and only counted).
+	if t := obs.Default(); t != nil {
+		start := time.Now()
+		fl.val, fl.size, fl.err = compute()
+		t.Record(-1, obs.PipelineUser, obs.StageCache, start, time.Since(start))
+	} else {
+		fl.val, fl.size, fl.err = compute()
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.err == nil {

@@ -9,6 +9,7 @@ import (
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
@@ -23,6 +24,8 @@ type Decoder struct {
 	// consumers of the same block (overlapping viewports, repeated frames)
 	// decode it once. Cached cells are shared and must not be mutated.
 	Cache CellCache
+	// Trace, when non-nil, records frame-level decode spans (DecodeFrame).
+	Trace *obs.Tracer
 }
 
 // DecodedCell is the result of decoding one block. Cells returned by a
@@ -166,6 +169,7 @@ func (d *Decoder) decode(data []byte) (*DecodedCell, error) {
 // in ascending cell-ID order, so the output point order is deterministic
 // for any pool width; the lowest-cell error wins.
 func (d *Decoder) DecodeFrame(blocks map[cell.ID]*Block) (*pointcloud.Cloud, error) {
+	defer d.Trace.Begin(-1, obs.PipelineUser, obs.StageDecode).End()
 	if len(blocks) == 0 {
 		return &pointcloud.Cloud{}, nil
 	}

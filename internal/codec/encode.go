@@ -9,6 +9,7 @@ import (
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
@@ -47,6 +48,9 @@ type Encoder struct {
 	// same cell encoded for several consumers) are encoded exactly once.
 	// Cached blocks are shared and must not be mutated.
 	Cache BlockCache
+	// Trace, when non-nil, records frame-level encode spans (EncodeFrame).
+	// Nil adds one pointer check to the hot path and nothing else.
+	Trace *obs.Tracer
 }
 
 // NewEncoder returns an encoder with the given parameters; zero-value
@@ -210,6 +214,7 @@ func encodeSorted(p Params, id cell.ID, c *pointcloud.Cloud, qs []qpoint, cellBo
 // pool (cells are independent and the encoder is stateless); the result
 // is identical for any pool width.
 func (e *Encoder) EncodeFrame(g *cell.Grid, c *pointcloud.Cloud) map[cell.ID]*Block {
+	defer e.Trace.Begin(-1, obs.PipelineUser, obs.StageEncode).End()
 	parts := g.Partition(c)
 	ids := make([]cell.ID, 0, len(parts))
 	for id := range parts {

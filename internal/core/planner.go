@@ -5,6 +5,7 @@ import (
 	"volcast/internal/geom"
 	"volcast/internal/metrics"
 	"volcast/internal/multicast"
+	"volcast/internal/obs"
 	"volcast/internal/phy"
 	"volcast/internal/vivo"
 )
@@ -66,6 +67,9 @@ type FrameInput struct {
 	// RSSOffsetsDB optionally perturbs each user's link by a dB offset
 	// (small-scale fading); len must equal Requests when non-nil.
 	RSSOffsetsDB []float64
+	// Seq tags the plan's tracing spans with the caller's frame number
+	// (the session step or evaluation frame). It does not affect the plan.
+	Seq int
 }
 
 // FramePlan is the planner's schedule for one frame.
@@ -111,6 +115,9 @@ type Planner struct {
 	// Metrics receives plan timings and airtime stats; nil disables
 	// instrumentation (every metrics instrument is nil-safe).
 	Metrics *metrics.Registry
+	// Trace receives per-frame plan and beam-design spans; nil disables
+	// tracing (every tracer method is nil-safe).
+	Trace *obs.Tracer
 }
 
 // NewPlanner returns a planner for the network.
@@ -183,6 +190,7 @@ func excludeNearAny(bodies []phy.Body, rxs []geom.Vec3) []phy.Body {
 // viewport-similarity grouping of the paper's Tm(k) model runs.
 func (pl *Planner) Plan(mode Mode, in FrameInput) (*FramePlan, error) {
 	defer pl.Metrics.Timer("core.plan").Time()()
+	defer pl.Trace.Begin(in.Seq, obs.PipelineUser, obs.StagePlan).End()
 	n := len(in.Requests)
 	contentFor := func(u int) FrameContent {
 		if len(in.PerUser) == n {
@@ -221,6 +229,10 @@ func (pl *Planner) Plan(mode Mode, in FrameInput) (*FramePlan, error) {
 			return overlapBytes(c0.Store, c0.Frame, in.Requests, members)
 		},
 		MulticastRate: func(members []int) float64 {
+			// Each candidate-group rate estimate runs a beam design (the
+			// multi-lobe synthesis when CustomBeams is on), so attribute
+			// it to the beam stage.
+			defer pl.Trace.Begin(in.Seq, obs.PipelineUser, obs.StageBeam).End()
 			pos := make([]geom.Vec3, len(members))
 			var offs []float64
 			if len(in.RSSOffsetsDB) == n {

@@ -183,6 +183,51 @@ func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, n
 	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...), h.sum, h.n
 }
 
+// Quantile estimates the q-th quantile (0..1) from the bucket counts by
+// linear interpolation within the containing bucket; samples in the +Inf
+// overflow bucket clamp to the largest finite bound. Returns 0 with no
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	bounds, counts, _, n := h.snapshot()
+	return quantileFrom(bounds, counts, n, q)
+}
+
+// quantileFrom is the bucket-interpolation shared by live histograms and
+// snapshots.
+func quantileFrom(bounds []float64, counts []int64, n int64, q float64) float64 {
+	if n <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) { // +Inf overflow bucket: clamp
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
 // MillisBuckets is the default per-layer latency ladder (milliseconds):
 // sub-frame-budget steps up to the 33 ms frame deadline and beyond.
 func MillisBuckets() []float64 {
@@ -334,6 +379,12 @@ func (r *Registry) String() string {
 				mean = sum / float64(n)
 			}
 			fmt.Fprintf(&b, "  %-32s n=%d mean=%.3g", name, n, mean)
+			if n > 0 {
+				fmt.Fprintf(&b, " p50=%.3g p95=%.3g p99=%.3g",
+					quantileFrom(bounds, counts, n, 0.50),
+					quantileFrom(bounds, counts, n, 0.95),
+					quantileFrom(bounds, counts, n, 0.99))
+			}
 			for i, c := range counts {
 				if c == 0 {
 					continue
@@ -359,10 +410,14 @@ type TimerStats struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
-// HistogramStats is the JSON form of one histogram.
+// HistogramStats is the JSON form of one histogram. P50/P95/P99 are
+// bucket-interpolated percentile estimates.
 type HistogramStats struct {
 	Count  int64     `json:"count"`
 	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 }
@@ -417,9 +472,111 @@ func (r *Registry) Snapshot() Snapshot {
 				mean = 0
 			}
 		}
-		s.Histograms[name] = HistogramStats{Count: n, Mean: mean, Bounds: bounds, Counts: counts}
+		s.Histograms[name] = HistogramStats{
+			Count: n, Mean: mean,
+			P50:    quantileFrom(bounds, counts, n, 0.50),
+			P95:    quantileFrom(bounds, counts, n, 0.95),
+			P99:    quantileFrom(bounds, counts, n, 0.99),
+			Bounds: bounds, Counts: counts,
+		}
 	}
 	return s
+}
+
+// Delta returns the per-interval difference between this snapshot and an
+// earlier one: counter increments, timer count/total deltas (Mean is the
+// interval mean; Min/Max carry the cumulative values, since extremes
+// cannot be un-merged), and histogram bucket deltas with the interval's
+// mean and percentiles recomputed. Instruments with no activity in the
+// interval are dropped, so the result is exactly "what happened since
+// prev" — the periodic stats log uses it to report rates instead of
+// since-boot totals.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
+	}
+	for name, v := range s.Counters {
+		if dv := v - prev.Counters[name]; dv != 0 {
+			d.Counters[name] = dv
+		}
+	}
+	for name, t := range s.Timers {
+		p := prev.Timers[name]
+		dc := t.Count - p.Count
+		if dc == 0 {
+			continue
+		}
+		dt := TimerStats{Count: dc, TotalMS: t.TotalMS - p.TotalMS, MinMS: t.MinMS, MaxMS: t.MaxMS}
+		if dc > 0 {
+			dt.MeanMS = dt.TotalMS / float64(dc)
+		}
+		d.Timers[name] = dt
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			p = HistogramStats{Counts: make([]int64, len(h.Counts))}
+		}
+		dn := h.Count - p.Count
+		if dn == 0 {
+			continue
+		}
+		counts := make([]int64, len(h.Counts))
+		for i := range counts {
+			counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		dh := HistogramStats{Count: dn, Bounds: h.Bounds, Counts: counts}
+		if dn > 0 {
+			dh.Mean = (h.Mean*float64(h.Count) - p.Mean*float64(p.Count)) / float64(dn)
+			dh.P50 = quantileFrom(h.Bounds, counts, dn, 0.50)
+			dh.P95 = quantileFrom(h.Bounds, counts, dn, 0.95)
+			dh.P99 = quantileFrom(h.Bounds, counts, dn, 0.99)
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// String renders a snapshot in the same stable, name-sorted text form as
+// Registry.String (used for the per-interval stats log).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range names(s.Counters) {
+			fmt.Fprintf(&b, "  %-32s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Timers) > 0 {
+		b.WriteString("timers:\n")
+		for _, name := range names(s.Timers) {
+			t := s.Timers[name]
+			fmt.Fprintf(&b, "  %-32s count=%d total=%.3gms mean=%.3gms min=%.3gms max=%.3gms\n",
+				name, t.Count, t.TotalMS, t.MeanMS, t.MinMS, t.MaxMS)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range names(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g",
+				name, h.Count, h.Mean, h.P50, h.P95, h.P99)
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, " le%g:%d", h.Bounds[i], c)
+				} else {
+					fmt.Fprintf(&b, " inf:%d", c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // JSON renders the registry as indented JSON with sorted keys.

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"volcast/internal/metrics"
+)
+
+// DebugConfig wires the live debug endpoint.
+type DebugConfig struct {
+	// Metrics is the registry served at /metrics (nil = process default).
+	Metrics *metrics.Registry
+	// Tracer backs /trace and /qoe (nil = process default at request
+	// time, so the endpoint works however the tracer is installed).
+	Tracer *Tracer
+}
+
+// NewDebugMux returns the live debug mux served by volserve -debug-addr:
+//
+//	/metrics        stage timers, counters, histograms (text; ?format=json)
+//	/trace          last-N-spans Perfetto dump (load in ui.perfetto.dev;
+//	                ?format=text for the compact timeline)
+//	/qoe            per-user frame/deadline-miss/stall table (?format=json)
+//	/debug/pprof/   the standard Go profiler endpoints
+func NewDebugMux(cfg DebugConfig) *http.ServeMux {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	tracer := func() *Tracer {
+		if cfg.Tracer != nil {
+			return cfg.Tracer
+		}
+		return Default()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			data, err := reg.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, reg.String())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := tracer()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if t == nil {
+				fmt.Fprintln(w, "tracing disabled")
+				return
+			}
+			t.WriteTimeline(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WritePerfetto(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/qoe", func(w http.ResponseWriter, r *http.Request) {
+		t := tracer()
+		rows := t.QoE()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rows)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if t == nil {
+			fmt.Fprintln(w, "tracing disabled")
+			return
+		}
+		fmt.Fprintf(w, "%-6s %8s %8s %8s %10s %8s %10s %s\n",
+			"user", "frames", "misses", "miss%", "avg ms", "est fps", "stall ms", "top stage")
+		for _, q := range rows {
+			fmt.Fprintf(w, "%-6d %8d %8d %7.1f%% %10.2f %8.1f %10.1f %s\n",
+				q.User, q.Frames, q.Misses, q.MissPct, q.AvgFrameMS, q.EstFPS, q.StallMS, q.TopStage)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "volcast debug endpoint\n\n"+
+			"  /metrics       stage metrics (text; ?format=json)\n"+
+			"  /trace         Perfetto trace_event dump (?format=text for timeline)\n"+
+			"  /qoe           per-user deadline-miss table (?format=json)\n"+
+			"  /debug/pprof/  Go profiler\n")
+	})
+	return mux
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"volcast/internal/metrics"
+)
+
+func debugServer(t *testing.T) (*httptest.Server, *Tracer) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("test.counter").Add(7)
+	tr := New(64)
+	tr.Record(0, 0, StageCull, tr.Epoch(), time.Millisecond)
+	tr.RecordModeled(0, 0, StageAirtime, 50*time.Millisecond)
+	srv := httptest.NewServer(NewDebugMux(DebugConfig{Metrics: reg, Tracer: tr}))
+	t.Cleanup(srv.Close)
+	return srv, tr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugMetrics(t *testing.T) {
+	srv, _ := debugServer(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "test.counter") {
+		t.Errorf("GET /metrics = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics?format=json = %d", code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Errorf("metrics JSON invalid: %v", err)
+	}
+}
+
+func TestDebugTrace(t *testing.T) {
+	srv, _ := debugServer(t)
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace = %d", code)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &file); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Error("trace dump holds no events")
+	}
+	code, body = get(t, srv.URL+"/trace?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "MISS") {
+		t.Errorf("GET /trace?format=text = %d:\n%s", code, body)
+	}
+}
+
+func TestDebugQoE(t *testing.T) {
+	srv, _ := debugServer(t)
+	code, body := get(t, srv.URL+"/qoe")
+	if code != http.StatusOK || !strings.Contains(body, "airtime") {
+		t.Errorf("GET /qoe = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/qoe?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /qoe?format=json = %d", code)
+	}
+	var rows []UserQoE
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("qoe JSON invalid: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Misses != 1 {
+		t.Errorf("qoe rows = %+v, want one user with one miss", rows)
+	}
+}
+
+func TestDebugPprofAndIndex(t *testing.T) {
+	srv, _ := debugServer(t)
+	if code, _ := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ = %d", code)
+	}
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/trace") {
+		t.Errorf("GET / = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", code)
+	}
+}

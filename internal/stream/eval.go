@@ -10,12 +10,14 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/core"
 	"volcast/internal/geom"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/trace"
@@ -88,6 +90,9 @@ type Evaluator struct {
 	Vis   *vivo.Visibility
 	Study *trace.Study
 	Net   *Network
+	// Trace receives per-frame, per-user stage spans (set by NewEvaluator
+	// to the process tracer; nil disables tracing).
+	Trace *obs.Tracer
 
 	planner *core.Planner
 	decoder codec.Decoder
@@ -98,11 +103,13 @@ type Evaluator struct {
 func NewEvaluator(store *vivo.Store, study *trace.Study, net *Network) *Evaluator {
 	pl := core.NewPlanner(net)
 	pl.Metrics = metrics.Default()
+	pl.Trace = obs.Default()
 	return &Evaluator{
 		Store:   store,
 		Vis:     vivo.New(store.Grid(), vivo.DefaultParams()),
 		Study:   study,
 		Net:     net,
+		Trace:   pl.Trace,
 		planner: pl,
 		decoder: codec.Decoder{Cache: blockcache.Cells()},
 	}
@@ -153,12 +160,15 @@ func (e *Evaluator) EvalFPS(cfg EvalConfig) (Result, error) {
 		// slots fill by user index, then the max reduces sequentially.
 		userPoints := make([]int, cfg.Users)
 		if err := par.ForEach(context.Background(), cfg.Users, func(u int) error {
+			cull := e.Trace.Begin(f, u, obs.StageCull)
 			pose := e.Study.Traces[u].PoseAt(f)
 			positions[u] = pose.Pos
 			bodies[u] = phy.DefaultBody(pose.Pos)
 			reqs[u] = e.userRequest(cfg.Mode, f, pose)
 			userPoints[u] = reqs[u].Points(points)
+			cull.End()
 			if cfg.DecodeClouds {
+				defer e.Trace.Begin(f, u, obs.StageDecode).End()
 				// Client render path: the shared cache's singleflight
 				// dedup decodes each distinct block once per frame even
 				// though every overlapping user requests it.
@@ -188,9 +198,25 @@ func (e *Evaluator) EvalFPS(cfg EvalConfig) (Result, error) {
 			Store: e.Store, Frame: f,
 			Requests: reqs, Positions: positions, Bodies: bodies,
 			CustomBeams: cfg.CustomBeams,
+			Seq:         f,
 		})
 		if err != nil {
 			return Result{}, err
+		}
+		// Attribute each user's share of the schedule as modeled airtime
+		// (bytes over the planned unicast rate, the paper's Tm model for
+		// singletons; good enough for per-frame attribution).
+		for u := range plan.Users {
+			bytes := float64(plan.Users[u].RequestBytes)
+			rate := plan.Users[u].UnicastRateMbps
+			if bytes <= 0 || rate <= 0 {
+				continue
+			}
+			air := time.Duration(bytes * 8 / (rate * 1e6) * float64(time.Second))
+			if air > time.Second {
+				air = time.Second
+			}
+			e.Trace.RecordModeled(f, u, obs.StageAirtime, air)
 		}
 		fps := plan.AchievableFPS(cfg.TargetFPS)
 		if d := cfg.DecodeRate.MaxFPS(maxPoints, cfg.TargetFPS); d < fps {

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/obs"
+	"volcast/internal/pointcloud"
+	"volcast/internal/trace"
+	"volcast/internal/vivo"
+)
+
+// A deliberately starved user (link capped at 0.5 Mbps) must blow the
+// 33 ms frame budget on every step, and every one of those misses must be
+// attributed to the airtime stage — the modeled MAC occupancy is the only
+// stage that depends on the link rate, so the attribution is
+// deterministic regardless of host speed.
+func TestSessionDeadlineAttribution(t *testing.T) {
+	video := pointcloud.SynthScene(pointcloud.DefaultSceneConfig(4, 20_000, 1))
+	b, ok := video.Bounds()
+	if !ok {
+		t.Fatal("empty synth video")
+	}
+	g, err := cell.NewGrid(b, cell.Size50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := vivo.BuildStore(video, g, codec.NewEncoder(codec.DefaultParams()), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := trace.GenerateStudy(60, 1)
+	net, err := NewAD()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The tracer is created after the store build, so the trace holds
+	// session work only (no build-phase encode spans on these frames).
+	tr := obs.New(1 << 14)
+	sess, err := NewSession(SessionConfig{
+		Users:        2,
+		Seconds:      1,
+		Mode:         ModeViVo,
+		StartQuality: pointcloud.QualityLow,
+		Trace:        tr,
+		LinkCapMbps:  []float64{0.5, 0}, // starve user 0, leave user 1 alone
+	}, map[pointcloud.Quality]*vivo.Store{pointcloud.QualityLow: store}, study, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	reports := tr.Analyze()
+	if len(reports) == 0 {
+		t.Fatal("session recorded no frame reports")
+	}
+	var u0Frames, u0Misses int
+	for _, r := range reports {
+		if r.User != 0 {
+			continue
+		}
+		u0Frames++
+		if !r.Missed {
+			continue
+		}
+		u0Misses++
+		if r.Slowest != "airtime" {
+			t.Errorf("frame %d user 0 missed on %q (%.1fms), want airtime: %v",
+				r.Frame, r.Slowest, r.SlowestMS, r.Stages)
+		}
+	}
+	if u0Frames == 0 {
+		t.Fatal("no frame reports for the starved user")
+	}
+	if u0Misses == 0 {
+		t.Fatal("the 0.5 Mbps user never missed the 33ms deadline")
+	}
+
+	qoe := tr.QoE()
+	var found bool
+	for _, row := range qoe {
+		if row.User != 0 {
+			continue
+		}
+		found = true
+		if row.Misses != u0Misses {
+			t.Errorf("QoE misses = %d, Analyze counted %d", row.Misses, u0Misses)
+		}
+		if row.TopStage != "airtime" {
+			t.Errorf("QoE top stage = %q, want airtime", row.TopStage)
+		}
+	}
+	if !found {
+		t.Fatal("QoE has no row for user 0")
+	}
+
+	// The trace must cover the core per-frame stages for the starved user.
+	stages := map[string]bool{}
+	for _, r := range reports {
+		if r.User != 0 {
+			continue
+		}
+		for s := range r.Stages {
+			stages[s] = true
+		}
+	}
+	for _, want := range []string{"cull", "plan", "airtime", "present"} {
+		if !stages[want] {
+			t.Errorf("user 0 trace misses stage %q (got %v)", want, stages)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"volcast/internal/core"
 	"volcast/internal/geom"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/phy"
 	"volcast/internal/pointcloud"
@@ -55,6 +56,16 @@ type SessionConfig struct {
 	// Metrics receives per-step stage timings and counters (nil → the
 	// process-wide default registry).
 	Metrics *metrics.Registry
+	// Trace receives per-frame, per-user, per-stage spans with deadline
+	// attribution (nil → the process-wide tracer, which is itself nil
+	// unless tracing was enabled).
+	Trace *obs.Tracer
+	// LinkCapMbps optionally caps each user's delivered link rate
+	// (link emulation: a throttled or starved client). Non-nil len must
+	// equal Users; 0 leaves a user uncapped. The cap applies to the
+	// per-user delivery accounting and airtime attribution, not to the
+	// shared MAC schedule.
+	LinkCapMbps []float64
 }
 
 // QoE aggregates the session's quality-of-experience metrics.
@@ -96,6 +107,7 @@ type Session struct {
 	quality []pointcloud.Quality
 	fading  []*phy.Fading
 	reg     *metrics.Registry
+	tr      *obs.Tracer
 }
 
 // NewSession validates the configuration and assembles a session.
@@ -120,9 +132,16 @@ func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, st
 	if cfg.BufferSeconds <= 0 {
 		cfg.BufferSeconds = 1.0
 	}
+	if cfg.LinkCapMbps != nil && len(cfg.LinkCapMbps) != cfg.Users {
+		return nil, fmt.Errorf("stream: %d link caps for %d users", len(cfg.LinkCapMbps), cfg.Users)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.Default()
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Default()
 	}
 	s := &Session{
 		cfg:     cfg,
@@ -136,8 +155,10 @@ func NewSession(cfg SessionConfig, stores map[pointcloud.Quality]*vivo.Store, st
 		ctrl:    abr.NewController(abr.DefaultConfig()),
 		mpc:     abr.NewMPC(),
 		reg:     reg,
+		tr:      tr,
 	}
 	s.planner.Metrics = reg
+	s.planner.Trace = tr
 	for q, st := range stores {
 		s.visByQ[q] = vivo.New(st.Grid(), vivo.DefaultParams())
 	}
@@ -217,11 +238,13 @@ func (s *Session) Run() (QoE, error) {
 		// Cross-layer forecasting: predicted poses → predicted blockages.
 		var futureBlocked map[int]bool
 		if s.cfg.Predictive && s.net.Kind == NetAD {
+			predSpan := s.tr.Begin(step, obs.PipelineUser, obs.StagePredict)
 			predPoses := s.joint.PredictAll(horizon)
 			futureBlocked = map[int]bool{}
 			for _, b := range predict.ForecastBlockages(s.net.Radio.Array.Pos, predPoses) {
 				futureBlocked[b.User] = true
 			}
+			predSpan.End()
 		}
 
 		// Per-user requests at their current quality. The visibility
@@ -232,6 +255,7 @@ func (s *Session) Run() (QoE, error) {
 		perUser := make([]core.FrameContent, s.cfg.Users)
 		visDone := s.reg.Timer("session.visibility").Time()
 		if err := par.ForEach(context.Background(), s.cfg.Users, func(u int) error {
+			defer s.tr.Begin(step, u, obs.StageCull).End()
 			st := s.stores[s.quality[u]]
 			vis := s.visByQ[s.quality[u]]
 			fi := step % st.NumFrames()
@@ -304,6 +328,7 @@ func (s *Session) Run() (QoE, error) {
 			Bodies:       bodies,
 			CustomBeams:  s.cfg.CustomBeams,
 			RSSOffsetsDB: rssOffsets,
+			Seq:          step,
 		})
 		if err != nil {
 			return q, err
@@ -314,6 +339,29 @@ func (s *Session) Run() (QoE, error) {
 			if r2 > plan.Users[u].UnicastRateMbps {
 				plan.Users[u].UnicastRateMbps = r2
 			}
+		}
+		// Link emulation: cap throttled users' delivered rates.
+		for u, lim := range s.cfg.LinkCapMbps {
+			if lim > 0 && plan.Users[u].UnicastRateMbps > lim {
+				plan.Users[u].UnicastRateMbps = lim
+			}
+		}
+		// Attribute each user's modeled MAC airtime for this frame: the
+		// time the user's requested bytes occupy the medium at their
+		// delivered rate. A dead link is clamped to one second so the
+		// attribution stays finite (and unmistakably a miss).
+		for u := 0; u < s.cfg.Users; u++ {
+			bytes := float64(plan.Users[u].RequestBytes)
+			if bytes <= 0 {
+				continue
+			}
+			air := time.Second
+			if rate := plan.Users[u].UnicastRateMbps; rate > 0 {
+				if d := time.Duration(bytes * 8 / (rate * 1e6) * float64(time.Second)); d < air {
+					air = d
+				}
+			}
+			s.tr.RecordModeled(step, u, obs.StageAirtime, air)
 		}
 
 		// This step's deliverable fraction of a frame per user.
@@ -334,6 +382,7 @@ func (s *Session) Run() (QoE, error) {
 			decodeDone := s.reg.Timer("session.decode").Time()
 			perUserPts := make([]int64, s.cfg.Users)
 			if err := par.ForEach(context.Background(), s.cfg.Users, func(u int) error {
+				defer s.tr.Begin(step, u, obs.StageDecode).End()
 				st, fi := perUser[u].Store, perUser[u].Frame
 				for _, cr := range reqs[u].Cells {
 					blk := st.Block(fi, cr.ID, cr.Stride)
@@ -359,6 +408,7 @@ func (s *Session) Run() (QoE, error) {
 		}
 
 		// Buffers: each user receives frameFrac frames of playback.
+		presentSpan := s.tr.Begin(step, obs.PipelineUser, obs.StagePresent)
 		for u := 0; u < s.cfg.Users; u++ {
 			s.buffers[u].Add(frameFrac * dt)
 			s.buffers[u].Drain(dt)
@@ -397,6 +447,7 @@ func (s *Session) Run() (QoE, error) {
 		for u := 0; u < s.cfg.Users; u++ {
 			q.AvgQuality += float64(s.quality[u])
 		}
+		presentSpan.End()
 		s.reg.Counter("session.steps").Inc()
 		s.reg.Histogram("session.step_ms", nil).
 			Observe(float64(time.Since(stepStart)) / float64(time.Millisecond))

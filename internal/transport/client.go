@@ -10,6 +10,7 @@ import (
 	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/obs"
 	"volcast/internal/trace"
 	"volcast/internal/wire"
 )
@@ -30,6 +31,9 @@ type ClientConfig struct {
 	// Decode enables full decoding of received cells (costs CPU; off,
 	// the client only accounts bytes).
 	Decode bool
+	// Tracer receives per-frame decode/present spans on the client's ID;
+	// nil falls back to the process tracer.
+	Tracer *obs.Tracer
 }
 
 // ClientStats summarizes a playback session.
@@ -121,7 +125,16 @@ func RunClient(ctx context.Context, cfg ClientConfig) (ClientStats, error) {
 	// Receiver until the deadline. Decoding runs through the shared
 	// content-addressed cache: temporally static cells repeat byte-
 	// identical blocks across frames and decode only once.
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = obs.Default()
+	}
 	dec := codec.Decoder{Cache: blockcache.Cells()}
+	// Per-frame decode time accumulates across the frame's cells and lands
+	// as one span at FrameComplete; the gap between consecutive
+	// FrameCompletes is the client's presentation interval.
+	var decStart, lastComplete time.Time
+	var decDur time.Duration
 	start := time.Now()
 recv:
 	for {
@@ -144,7 +157,12 @@ recv:
 				stats.MulticastBytes += int64(len(m.Payload))
 			}
 			if cfg.Decode {
+				t0 := time.Now()
 				dc, err := dec.Decode(m.Payload)
+				if decStart.IsZero() {
+					decStart = t0
+				}
+				decDur += time.Since(t0)
 				if err != nil {
 					stats.DecodeErrors++
 				} else {
@@ -153,6 +171,15 @@ recv:
 			}
 		case *wire.FrameComplete:
 			stats.Frames++
+			if decDur > 0 {
+				tr.Record(int(m.Frame), int(cfg.ID), obs.StageDecode, decStart, decDur)
+			}
+			decStart, decDur = time.Time{}, 0
+			now := time.Now()
+			if !lastComplete.IsZero() {
+				tr.Record(int(m.Frame), int(cfg.ID), obs.StagePresent, lastComplete, now.Sub(lastComplete))
+			}
+			lastComplete = now
 		case *wire.Adapt:
 			// Quality change acknowledged implicitly.
 		}

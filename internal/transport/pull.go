@@ -10,6 +10,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/obs"
 	"volcast/internal/trace"
 	"volcast/internal/wire"
 )
@@ -89,6 +90,7 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	}
 
 	deadline := time.Now().Add(cfg.Duration)
+	tr := obs.Default()
 	dec := codec.Decoder{Cache: blockcache.Cells()}
 	start := time.Now()
 	frame := uint32(0)
@@ -105,6 +107,7 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 		next = next.Add(interval)
 
 		t := time.Since(start).Seconds()
+		cullSpan := tr.Begin(int(frame), int(cfg.ID), obs.StageCull)
 		pose := geom.Pose{Rot: geom.QuatIdent()}
 		if cfg.Trace != nil {
 			pose = cfg.Trace.PoseAtTime(t)
@@ -119,13 +122,18 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 				refs = append(refs, wire.CellRef{CellID: uint32(id), Stride: cfg.Stride})
 			}
 		}
-		if err := wire.WriteMessage(conn, &wire.SegmentRequest{Frame: frame, Cells: refs}); err != nil {
+		writeErr := wire.WriteMessage(conn, &wire.SegmentRequest{Frame: frame, Cells: refs})
+		cullSpan.End()
+		if writeErr != nil {
 			break
 		}
 		stats.PosesSent++ // one request per frame plays the pose role
 
-		// Drain until this frame's FrameComplete.
+		// Drain until this frame's FrameComplete; decode time accumulates
+		// into one span per frame.
 		conn.SetReadDeadline(deadline)
+		var decStart time.Time
+		var decDur time.Duration
 	drain:
 		for {
 			msg, err := wire.ReadMessage(conn)
@@ -137,7 +145,13 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 				stats.Cells++
 				stats.Bytes += int64(len(m.Payload))
 				if cfg.Decode {
-					if dc, err := dec.Decode(m.Payload); err != nil {
+					t0 := time.Now()
+					dc, err := dec.Decode(m.Payload)
+					if decStart.IsZero() {
+						decStart = t0
+					}
+					decDur += time.Since(t0)
+					if err != nil {
 						stats.DecodeErrors++
 					} else {
 						stats.Points += int64(len(dc.Points))
@@ -145,6 +159,9 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 				}
 			case *wire.FrameComplete:
 				stats.Frames++
+				if decDur > 0 {
+					tr.Record(int(m.Frame), int(cfg.ID), obs.StageDecode, decStart, decDur)
+				}
 				break drain
 			}
 		}

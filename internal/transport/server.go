@@ -18,6 +18,7 @@ import (
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/obs"
 	"volcast/internal/vivo"
 	"volcast/internal/wire"
 )
@@ -32,6 +33,10 @@ type ServerConfig struct {
 	FPS int
 	// Logf receives server diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
+	// Trace receives per-frame server spans (cull, serialize, send); the
+	// span user axis is the connection's session id. Nil falls back to the
+	// process tracer at construction time (usually also nil = disabled).
+	Trace *obs.Tracer
 }
 
 // Server streams content to connected players.
@@ -54,6 +59,9 @@ type clientConn struct {
 	conn net.Conn
 	id   uint32
 	name string
+	// sess is the server-assigned session id; the tracer's user axis for
+	// this connection's spans.
+	sess uint32
 
 	mu   sync.Mutex
 	pose geom.Pose
@@ -85,6 +93,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = obs.Default()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -174,6 +185,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Lock()
 	s.nextID++
 	sessionID := s.nextID
+	c.sess = sessionID
 	s.clients[c] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
@@ -196,16 +208,29 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// Writer: drains the outbound queue until the connection ends.
+	// Writer: drains the outbound queue until the connection ends. Socket
+	// write time accumulates per frame into a send span closed by the
+	// frame's FrameComplete marker.
 	writeDone := make(chan struct{})
 	go func() {
 		defer close(writeDone)
+		var sendStart time.Time
+		var sendDur time.Duration
 		for {
 			select {
 			case m := <-c.out:
 				conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+				t0 := time.Now()
 				if err := wire.WriteMessage(conn, m); err != nil {
 					return
+				}
+				if sendStart.IsZero() {
+					sendStart = t0
+				}
+				sendDur += time.Since(t0)
+				if fc, ok := m.(*wire.FrameComplete); ok {
+					s.cfg.Trace.Record(int(fc.Frame), int(c.sess), obs.StageSend, sendStart, sendDur)
+					sendStart, sendDur = time.Time{}, 0
 				}
 			case <-c.done:
 				return
@@ -275,6 +300,7 @@ func (s *Server) pushFrame(frame int) {
 	fi := frame % s.cfg.Store.NumFrames()
 	occ := s.cfg.Store.Frame(fi).Occupied
 
+	cull := s.cfg.Trace.Begin(frame, obs.PipelineUser, obs.StageCull)
 	reqs := make([]vivo.Request, len(clients))
 	isPull := make([]bool, len(clients))
 	counts := map[cell.ID]int{}
@@ -295,10 +321,12 @@ func (s *Server) pushFrame(frame int) {
 			counts[cr.ID]++
 		}
 	}
+	cull.End()
 	for i, c := range clients {
 		if isPull[i] {
 			continue
 		}
+		ser := s.cfg.Trace.Begin(frame, int(c.sess), obs.StageSerialize)
 		degrade := s.adapt(c, len(reqs[i].Cells))
 		var cells, bytes uint64
 		for _, cr := range reqs[i].Cells {
@@ -323,6 +351,7 @@ func (s *Server) pushFrame(frame int) {
 		s.enqueue(c, &wire.FrameComplete{
 			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
 		})
+		ser.End()
 	}
 }
 
@@ -331,6 +360,7 @@ func (s *Server) pushFrame(frame int) {
 // those, followed by a FrameComplete marker. Unknown cells are skipped —
 // the FrameComplete's Cells count tells the client what it got.
 func (s *Server) servePull(c *clientConn, req *wire.SegmentRequest) {
+	defer s.cfg.Trace.Begin(int(req.Frame), int(c.sess), obs.StageSerialize).End()
 	fi := int(req.Frame) % s.cfg.Store.NumFrames()
 	var cells, bytes uint64
 	for _, ref := range req.Cells {

@@ -10,6 +10,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
 )
@@ -54,12 +55,15 @@ func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides [
 	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
 
 	reg := metrics.Default()
+	tr := obs.Default()
 	start := time.Now()
 	if err := par.ForEach(context.Background(), len(v.Frames), func(fi int) error {
 		t := time.Now()
 		st.frames[fi] = encodeFrame(v.Frames[fi], g, enc, ss)
+		d := time.Since(t)
 		reg.Histogram("vivo.encode_frame_ms", nil).
-			Observe(float64(time.Since(t)) / float64(time.Millisecond))
+			Observe(float64(d) / float64(time.Millisecond))
+		tr.Record(fi, obs.PipelineUser, obs.StageEncode, t, d)
 		return nil
 	}); err != nil {
 		return nil, err
