@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet bench trace-smoke verify
+.PHONY: build test race vet bench trace-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ bench:
 trace-smoke:
 	$(GO) run ./cmd/volsim -trace /tmp/volsim-trace.json session -users 2 -seconds 1 -points 20000 -multicast -decode
 	$(GO) run ./cmd/tracelint -min-stages 6 /tmp/volsim-trace.json
+
+# chaos-smoke soaks a 3-push + 1-pull session against a seeded fault
+# injector (mid-stream resets, read stalls, bandwidth caps, accept
+# failures) under -race and asserts no hangs, no goroutine leaks, every
+# client finishing, and the fault schedule replaying from the seed.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSoak|TestChaosScheduleReplaysAcrossListeners' -v ./internal/transport
 
 # verify is the CI gate: static checks, a full build, and the test suite
 # under the race detector (the parallel execution substrate makes -race

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	volplay [-addr localhost:7272] [-user 0] [-seconds 5] [-pull [-stride N]]
+//	volplay -reconnect                       # survive resets: backoff + resume
 package main
 
 import (
@@ -26,6 +27,10 @@ func main() {
 	noDecode := flag.Bool("nodecode", false, "skip decoding (bandwidth test)")
 	pull := flag.Bool("pull", false, "pull mode: run visibility client-side, request cells explicitly")
 	stride := flag.Int("stride", 1, "density stride requested in pull mode")
+	reconnect := flag.Bool("reconnect", false, "reconnect with exponential backoff when the connection drops")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "first reconnect delay")
+	backoffMax := flag.Duration("backoff-max", 2*time.Second, "reconnect delay cap")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Second, "declare the connection dead after this much silence")
 	flag.Parse()
 
 	frames := int(*seconds*30) + 60
@@ -49,9 +54,13 @@ func main() {
 	} else {
 		stats, err = transport.RunClient(context.Background(), transport.ClientConfig{
 			Addr: *addr, ID: uint32(u), Name: fmt.Sprintf("volplay-%d", u),
-			Trace:    study.Traces[u],
-			Duration: time.Duration(*seconds * float64(time.Second)),
-			Decode:   !*noDecode,
+			Trace:       study.Traces[u],
+			Duration:    time.Duration(*seconds * float64(time.Second)),
+			Decode:      !*noDecode,
+			Reconnect:   *reconnect,
+			BackoffBase: *backoff,
+			BackoffMax:  *backoffMax,
+			IdleTimeout: *idleTimeout,
 		})
 	}
 	if err != nil {
@@ -63,6 +72,10 @@ func main() {
 		float64(stats.MulticastBytes)/1e6, pct(stats.MulticastBytes, stats.Bytes))
 	fmt.Printf("decoded points     %d (errors: %d)\n", stats.Points, stats.DecodeErrors)
 	fmt.Printf("poses sent         %d\n", stats.PosesSent)
+	if stats.Reconnects > 0 || stats.HeartbeatMisses > 0 || stats.FramesDropped > 0 {
+		fmt.Printf("fault recovery     %d reconnects, %d heartbeat misses, %d frames dropped\n",
+			stats.Reconnects, stats.HeartbeatMisses, stats.FramesDropped)
+	}
 }
 
 func pct(a, b int64) float64 {

@@ -7,6 +7,7 @@
 //	volserve [-addr :7272] [-frames 90] [-points 100000] [-performers 3] [-vanilla]
 //	volserve -load content.vcstor            # serve pre-encoded content (volpack)
 //	volserve -debug-addr :7273               # live /metrics, /trace, /qoe, pprof
+//	volserve -chaos-seed 42 -chaos-reset 0.5 # deterministic fault injection
 package main
 
 import (
@@ -20,9 +21,12 @@ import (
 	"syscall"
 	"time"
 
+	"net"
+
 	"volcast/internal/blockcache"
 	"volcast/internal/cell"
 	"volcast/internal/codec"
+	"volcast/internal/faultnet"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/par"
@@ -43,6 +47,17 @@ func main() {
 	cacheMB := flag.Int("cache", -1, "block cache budget in MB (-1 = VOLCAST_CACHE_MB or 64, 0 = disabled)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "metrics log interval (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, /qoe and pprof on this address (enables the pipeline tracer)")
+	heartbeat := flag.Duration("hb", time.Second, "heartbeat Ping interval (negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop clients with no readable traffic for this long (0 = 4×hb)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "graceful drain budget on shutdown")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off); same seed ⇒ same per-connection fault schedule")
+	chaosReset := flag.Float64("chaos-reset", 0.5, "chaos: per-connection probability of a mid-stream reset")
+	chaosResetKB := flag.Int64("chaos-reset-kb", 512, "chaos: mean KB of traffic before a scheduled reset fires")
+	chaosStallEvery := flag.Int("chaos-stall-every", 0, "chaos: stall every Nth read (0 = never)")
+	chaosStallDur := flag.Duration("chaos-stall", 30*time.Millisecond, "chaos: injected read-stall duration")
+	chaosBwMbps := flag.Float64("chaos-bw", 0, "chaos: per-connection bandwidth cap in Mbps (0 = uncapped)")
+	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: added latency per socket op")
+	chaosAcceptFail := flag.Int("chaos-accept-fail", 0, "chaos: fail every Nth accept once (0 = never)")
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
@@ -96,14 +111,44 @@ func main() {
 		store.NumFrames(), store.AvgFrameBytes()/1e3,
 		codec.BitrateMbps(store.AvgFrameBytes(), 30))
 
-	srv, err := transport.NewServer(transport.ServerConfig{Store: store, Vanilla: *vanilla})
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Store: store, Vanilla: *vanilla,
+		HeartbeatEvery: *heartbeat,
+		IdleTimeout:    *idleTimeout,
+		DrainTimeout:   *drainTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ready := make(chan string, 1)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveLn := net.Listener(ln)
+	if *chaosSeed != 0 {
+		// Every accepted connection draws its fault schedule from the
+		// seed: reproduce a failing run by re-serving with the same seed
+		// and the same client arrival order.
+		kb := *chaosResetKB
+		if kb < 2 {
+			kb = 2
+		}
+		serveLn = faultnet.NewListener(ln, faultnet.Config{
+			Seed:            *chaosSeed,
+			Latency:         *chaosLatency,
+			BandwidthBps:    int64(*chaosBwMbps * 1e6 / 8),
+			ResetProb:       *chaosReset,
+			ResetAfterBytes: [2]int64{kb << 9, kb << 10 * 3 / 2}, // [mean/2, mean*1.5)
+			StallEvery:      *chaosStallEvery,
+			StallDur:        *chaosStallDur,
+			AcceptFailEvery: *chaosAcceptFail,
+		})
+		log.Printf("volserve: CHAOS enabled (seed %d): reset p=%.2f @~%dKB, stall 1/%d×%v, bw %.1f Mbps, accept-fail 1/%d",
+			*chaosSeed, *chaosReset, kb, *chaosStallEvery, *chaosStallDur, *chaosBwMbps, *chaosAcceptFail)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
-	log.Printf("volserve: listening on %s (%d workers)", <-ready, par.Workers())
+	go func() { errCh <- srv.Serve(serveLn) }()
+	log.Printf("volserve: listening on %s (%d workers)", ln.Addr(), par.Workers())
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"volcast/internal/blockcache"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/trace"
 	"volcast/internal/wire"
@@ -34,6 +36,24 @@ type ClientConfig struct {
 	// Tracer receives per-frame decode/present spans on the client's ID;
 	// nil falls back to the process tracer.
 	Tracer *obs.Tracer
+	// Reconnect makes the client survive connection loss: it redials
+	// with exponential backoff + jitter and resumes the session through
+	// the normal Hello/Welcome exchange until the Duration elapses.
+	Reconnect bool
+	// BackoffBase is the first reconnect delay (0 = 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the reconnect delay (0 = 2s).
+	BackoffMax time.Duration
+	// MaxReconnects bounds reconnect attempts (0 = unlimited within
+	// Duration).
+	MaxReconnects int
+	// IdleTimeout declares the connection dead when nothing (frames,
+	// pings) is readable for this long (0 = 5s). The server heartbeats
+	// at 1s by default, so an idle link still carries pings.
+	IdleTimeout time.Duration
+	// Dial overrides the connection factory — the injection point for
+	// faultnet wrappers in chaos tests (nil = plain TCP dial).
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // ClientStats summarizes a playback session.
@@ -53,74 +73,198 @@ type ClientStats struct {
 	PosesSent int
 	// AvgFPS is Frames divided by the session wall time.
 	AvgFPS float64
+	// Reconnects counts reconnect attempts made after a connection loss
+	// (only with ClientConfig.Reconnect).
+	Reconnects int
+	// HeartbeatMisses counts idle timeouts that declared a connection
+	// dead client-side.
+	HeartbeatMisses int
+	// FramesDropped counts frames abandoned mid-burst (lost
+	// FrameComplete, disconnect mid-frame, per-frame deadline).
+	FramesDropped int
 }
 
 // RunClient connects, streams poses from the trace and consumes content
-// until the duration elapses or the context is canceled.
+// until the duration elapses or the context is canceled. With
+// cfg.Reconnect set, a dropped connection is re-dialed with exponential
+// backoff + jitter and the session resumes through a fresh
+// Hello/Welcome; stats accumulate across all attempts.
 func RunClient(ctx context.Context, cfg ClientConfig) (ClientStats, error) {
 	var stats ClientStats
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
 	}
-	d := net.Dialer{Timeout: 5 * time.Second}
-	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: 5 * time.Second}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+
+	sessionCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	// Jittered backoff from a per-client seed: deterministic given the
+	// client ID, decorrelated across a fleet (no reconnect stampede).
+	rng := rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1))
+	start := time.Now()
+
+	backoff := cfg.BackoffBase
+	attempts := 0
+	var lastErr error
+	for {
+		connErr := runClientConn(sessionCtx, cfg, &stats, start)
+		if sessionCtx.Err() != nil || ctx.Err() != nil {
+			break // session over — a nil/EOF race at the deadline is not a failure
+		}
+		if connErr == nil {
+			break // server said Bye / clean end
+		}
+		lastErr = connErr
+		if !cfg.Reconnect {
+			// First dial failing outright is still a hard error.
+			if stats.Frames == 0 && stats.Cells == 0 {
+				return stats, connErr
+			}
+			break
+		}
+		attempts++
+		if cfg.MaxReconnects > 0 && attempts > cfg.MaxReconnects {
+			return stats, fmt.Errorf("transport: reconnect budget (%d) exhausted: %w", cfg.MaxReconnects, connErr)
+		}
+		// Exponential backoff with full jitter, clamped to the session.
+		delay := time.Duration(rng.Int63n(int64(backoff) + 1))
+		metrics.Default().Counter("transport.client.backoffs").Inc()
+		select {
+		case <-sessionCtx.Done():
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+		if sessionCtx.Err() != nil {
+			break
+		}
+		stats.Reconnects++
+		metrics.Default().Counter("transport.client.reconnects").Inc()
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		stats.AvgFPS = float64(stats.Frames) / elapsed
+	}
+	if stats.Frames == 0 && stats.Cells == 0 && lastErr != nil && !cfg.Reconnect {
+		return stats, lastErr
+	}
+	return stats, nil
+}
+
+// runClientConn runs one connection attempt: dial, handshake, then pump
+// poses out and frames in until the session deadline or a connection
+// fault. All writes flow through a single writer goroutine — the pose
+// ticker and the reader (pong replies, final Bye) only enqueue, so two
+// message frames can never interleave on the socket.
+func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientStats, sessionStart time.Time) error {
+	conn, err := cfg.Dial(sessionCtx, cfg.Addr)
 	if err != nil {
-		return stats, fmt.Errorf("transport: dial: %w", err)
+		return fmt.Errorf("transport: dial: %w", err)
 	}
 	defer conn.Close()
 
 	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name}); err != nil {
-		return stats, fmt.Errorf("transport: hello: %w", err)
+		return fmt.Errorf("transport: hello: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	msg, err := wire.ReadMessage(conn)
 	if err != nil {
-		return stats, fmt.Errorf("transport: welcome: %w", err)
+		return fmt.Errorf("transport: welcome: %w", err)
 	}
-	welcome, ok := msg.(*wire.Welcome)
-	if !ok {
-		return stats, fmt.Errorf("transport: expected Welcome, got %v", msg.Type())
+	if _, ok := msg.(*wire.Welcome); !ok {
+		return fmt.Errorf("transport: expected Welcome, got %v", msg.Type())
 	}
-	conn.SetReadDeadline(time.Time{})
 
-	sessionCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
-	defer cancel()
+	// The single owned writer. Closing the connection is its job: writer
+	// exit (error or stop) severs the socket, which unblocks the reader.
+	out := make(chan wire.Message, 64)
+	stopWriter := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		defer conn.Close()
+		for {
+			select {
+			case m := <-out:
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if err := wire.WriteMessage(conn, m); err != nil {
+					return
+				}
+			case <-stopWriter:
+				// Flush anything already queued (the Bye), best effort.
+				for {
+					select {
+					case m := <-out:
+						conn.SetWriteDeadline(time.Now().Add(time.Second))
+						if err := wire.WriteMessage(conn, m); err != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	// enqueue never blocks: a full queue on a stalled link drops the
+	// message (poses are superseded by the next one anyway).
+	enqueue := func(m wire.Message) {
+		select {
+		case out <- m:
+		default:
+		}
+	}
+	defer func() { close(stopWriter); <-writerDone }()
 
-	// Pose sender at the trace rate.
+	// Pose sender at the trace rate, clocked against the session start so
+	// the viewport stays on-trace across reconnects.
 	hz := 30
 	if cfg.Trace != nil && cfg.Trace.Hz > 0 {
 		hz = cfg.Trace.Hz
 	}
-	poseDone := make(chan int)
+	poseStop := make(chan struct{})
+	poseDone := make(chan struct{})
 	go func() {
-		sent := 0
+		defer close(poseDone)
 		ticker := time.NewTicker(time.Second / time.Duration(hz))
 		defer ticker.Stop()
-		start := time.Now()
 		for {
 			select {
 			case <-sessionCtx.Done():
-				poseDone <- sent
+				return
+			case <-poseStop:
 				return
 			case <-ticker.C:
 			}
-			t := time.Since(start).Seconds()
+			t := time.Since(sessionStart).Seconds()
 			var pu wire.PoseUpdate
-			pu.Seq = uint32(sent)
+			pu.Seq = uint32(stats.PosesSent)
 			pu.T = t
 			if cfg.Trace != nil {
 				pu.Pose = cfg.Trace.PoseAtTime(t)
 			} else {
 				pu.Pose.Rot = quatIdent()
 			}
-			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-			if err := wire.WriteMessage(conn, &pu); err != nil {
-				poseDone <- sent
-				return
-			}
-			sent++
+			enqueue(&pu)
+			stats.PosesSent++
 		}
 	}()
+	defer func() { close(poseStop); <-poseDone }()
 
 	// Receiver until the deadline. Decoding runs through the shared
 	// content-addressed cache: temporally static cells repeat byte-
@@ -135,22 +279,39 @@ func RunClient(ctx context.Context, cfg ClientConfig) (ClientStats, error) {
 	// FrameCompletes is the client's presentation interval.
 	var decStart, lastComplete time.Time
 	var decDur time.Duration
-	start := time.Now()
-recv:
+	inFrame := false
 	for {
-		if deadline, ok := sessionCtx.Deadline(); ok {
-			conn.SetReadDeadline(deadline)
+		// Idle timeout bounds every read: a silent server (crash, stall,
+		// blackhole) surfaces as a timeout, not an unbounded hang. The
+		// session deadline still wins when nearer.
+		rd := time.Now().Add(cfg.IdleTimeout)
+		sessionBounded := false
+		if deadline, ok := sessionCtx.Deadline(); ok && deadline.Before(rd) {
+			rd = deadline
+			sessionBounded = true
 		}
+		conn.SetReadDeadline(rd)
 		msg, err := wire.ReadMessage(conn)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || isTimeout(err) {
-				break recv
+			// The socket deadline fires at the session's wall-clock end a
+			// beat before the ctx timer does — that timeout is the session
+			// ending, not a silent link.
+			if sessionCtx.Err() != nil || (sessionBounded && isTimeout(err)) {
+				break // session over; not a connection fault
 			}
-			// Connection ended early; report what we have.
-			break recv
+			if inFrame {
+				stats.FramesDropped++
+			}
+			if isTimeout(err) {
+				stats.HeartbeatMisses++
+				metrics.Default().Counter("transport.client.heartbeat.misses").Inc()
+				return fmt.Errorf("transport: connection idle beyond %v", cfg.IdleTimeout)
+			}
+			return fmt.Errorf("transport: read: %w", err)
 		}
 		switch m := msg.(type) {
 		case *wire.CellData:
+			inFrame = true
 			stats.Cells++
 			stats.Bytes += int64(len(m.Payload))
 			if m.Multicast {
@@ -170,6 +331,7 @@ recv:
 				}
 			}
 		case *wire.FrameComplete:
+			inFrame = false
 			stats.Frames++
 			if decDur > 0 {
 				tr.Record(int(m.Frame), int(cfg.ID), obs.StageDecode, decStart, decDur)
@@ -180,32 +342,29 @@ recv:
 				tr.Record(int(m.Frame), int(cfg.ID), obs.StagePresent, lastComplete, now.Sub(lastComplete))
 			}
 			lastComplete = now
+		case *wire.Ping:
+			enqueue(&wire.Pong{Seq: m.Seq, T: m.T})
+		case *wire.Bye:
+			return nil // server finished the session gracefully
 		case *wire.Adapt:
 			// Quality change acknowledged implicitly.
 		}
-		select {
-		case <-sessionCtx.Done():
-			break recv
-		default:
+		if sessionCtx.Err() != nil {
+			break
 		}
 	}
-	elapsed := time.Since(start).Seconds()
-	if elapsed > 0 {
-		stats.AvgFPS = float64(stats.Frames) / elapsed
-	}
 
-	// Graceful goodbye (best effort).
-	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	_ = wire.WriteMessage(conn, &wire.Bye{})
-	cancel()
-	stats.PosesSent = <-poseDone
-	_ = welcome
-	return stats, nil
+	// Graceful goodbye through the writer (flushed by stopWriter).
+	enqueue(&wire.Bye{})
+	return nil
 }
 
 func isTimeout(err error) bool {
 	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
 }
 
 // quatIdent avoids importing geom just for the identity rotation.

@@ -10,6 +10,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/trace"
 	"volcast/internal/wire"
@@ -34,10 +35,22 @@ type PullClientConfig struct {
 	Stride uint8
 	// Decode enables full decoding of received cells.
 	Decode bool
+	// FrameTimeout bounds the wait for one frame's response burst. A
+	// server that dropped the frame's FrameComplete (full queue) costs
+	// one frame, not the rest of the session (0 = 4 frame intervals,
+	// min 250ms).
+	FrameTimeout time.Duration
+	// Dial overrides the connection factory (nil = plain TCP dial); the
+	// injection point for faultnet wrappers.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // RunPullClient connects in pull mode, requests frustum-visible cells for
 // each frame at the content rate, and returns playback statistics.
+//
+// Lost responses do not wedge the session: each frame's drain is bounded
+// by FrameTimeout, stale messages from an abandoned frame are skipped,
+// and a newer frame's messages resync the loop to that frame.
 func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, error) {
 	var stats ClientStats
 	if cfg.Duration <= 0 {
@@ -46,8 +59,13 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	if cfg.Stride == 0 {
 		cfg.Stride = 1
 	}
-	d := net.Dialer{Timeout: 5 * time.Second}
-	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if cfg.Dial == nil {
+		cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: 5 * time.Second}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := cfg.Dial(ctx, cfg.Addr)
 	if err != nil {
 		return stats, fmt.Errorf("transport: dial: %w", err)
 	}
@@ -88,13 +106,20 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	if fps <= 0 {
 		fps = 30
 	}
+	interval := time.Second / time.Duration(fps)
+	frameTimeout := cfg.FrameTimeout
+	if frameTimeout <= 0 {
+		frameTimeout = 4 * interval
+		if frameTimeout < 250*time.Millisecond {
+			frameTimeout = 250 * time.Millisecond
+		}
+	}
 
 	deadline := time.Now().Add(cfg.Duration)
 	tr := obs.Default()
 	dec := codec.Decoder{Cache: blockcache.Cells()}
 	start := time.Now()
 	frame := uint32(0)
-	interval := time.Second / time.Duration(fps)
 	next := time.Now()
 	for time.Now().Before(deadline) {
 		if ctx.Err() != nil {
@@ -129,19 +154,42 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 		}
 		stats.PosesSent++ // one request per frame plays the pose role
 
-		// Drain until this frame's FrameComplete; decode time accumulates
-		// into one span per frame.
-		conn.SetReadDeadline(deadline)
+		// Drain until this frame's FrameComplete, bounded per frame: if
+		// the server dropped the marker (full queue), the deadline
+		// abandons the frame instead of wedging the session; messages
+		// from a newer frame resync the loop forward, stale ones (an
+		// abandoned earlier frame's tail) are counted and skipped.
+		frameDeadline := time.Now().Add(frameTimeout)
+		if frameDeadline.After(deadline) {
+			frameDeadline = deadline
+		}
 		var decStart time.Time
 		var decDur time.Duration
 	drain:
 		for {
+			conn.SetReadDeadline(frameDeadline)
 			msg, err := wire.ReadMessage(conn)
 			if err != nil {
+				if isTimeout(err) && time.Now().Before(deadline) {
+					// Lost FrameComplete or stalled burst: abandon this
+					// frame and move on.
+					stats.FramesDropped++
+					metrics.Default().Counter("transport.pull.frame_timeouts").Inc()
+					break drain
+				}
 				goto out
 			}
 			switch m := msg.(type) {
 			case *wire.CellData:
+				switch {
+				case m.Frame < frame:
+					continue drain // stale tail of an abandoned frame
+				case m.Frame > frame:
+					// The server is already answering a newer request
+					// (this frame's marker was lost): resync.
+					stats.FramesDropped++
+					frame = m.Frame
+				}
 				stats.Cells++
 				stats.Bytes += int64(len(m.Payload))
 				if cfg.Decode {
@@ -158,11 +206,27 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 					}
 				}
 			case *wire.FrameComplete:
+				if m.Frame < frame {
+					continue drain // marker of an abandoned frame
+				}
+				if m.Frame > frame {
+					stats.FramesDropped++
+					frame = m.Frame
+				}
 				stats.Frames++
 				if decDur > 0 {
 					tr.Record(int(m.Frame), int(cfg.ID), obs.StageDecode, decStart, decDur)
 				}
 				break drain
+			case *wire.Ping:
+				// The reader is the only writer on this connection
+				// between requests, so answering inline is safe.
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				if err := wire.WriteMessage(conn, &wire.Pong{Seq: m.Seq, T: m.T}); err != nil {
+					goto out
+				}
+			case *wire.Bye:
+				goto out // server drained and signed off
 			}
 		}
 		frame++

@@ -5,6 +5,15 @@
 // frame rate; and a trace-driven player client that decodes what it
 // receives and reports QoE statistics. The examples and the volserve /
 // volplay commands are thin wrappers around this package.
+//
+// Fault model: the transport assumes the link misbehaves. Each
+// connection has exactly one owning writer goroutine whose death tears
+// the connection down (no zombie writers), both sides run a Ping/Pong
+// heartbeat with idle timeouts so a silent peer becomes a prompt
+// disconnect, clients reconnect with exponential backoff + jitter and
+// resume via the normal Hello/Welcome exchange, and Shutdown drains each
+// client's queued frames inside a bounded budget before closing. Every
+// fault path increments a metrics counter so chaos runs are auditable.
 package transport
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"volcast/internal/cell"
 	"volcast/internal/geom"
+	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/vivo"
 	"volcast/internal/wire"
@@ -37,6 +47,29 @@ type ServerConfig struct {
 	// span user axis is the connection's session id. Nil falls back to the
 	// process tracer at construction time (usually also nil = disabled).
 	Trace *obs.Tracer
+	// Metrics receives fault/lifecycle counters (nil = metrics.Default()).
+	Metrics *metrics.Registry
+	// HeartbeatEvery is the server Ping interval (0 = 1s, <0 disables).
+	HeartbeatEvery time.Duration
+	// IdleTimeout closes a connection that produced no readable traffic
+	// (poses, requests, pongs) for this long (0 = 4×HeartbeatEvery).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds the graceful drain in Shutdown: queued frames
+	// flush until the budget expires, then connections are force-closed
+	// (0 = 2s).
+	DrainTimeout time.Duration
+	// WriteTimeout bounds one socket write; exceeding it kills the
+	// writer and with it the connection (0 = 10s).
+	WriteTimeout time.Duration
+	// QueueDepth is each client's outbound message queue capacity — the
+	// memory-per-client bound and the backlog the adaptation watermarks
+	// measure against (0 = 4096).
+	QueueDepth int
+	// SlowClientFrames drops a client whose queue stayed too full to
+	// accept even FrameComplete markers for this many consecutive frames
+	// — degradation has already maxed out by then and the peer is not
+	// draining (0 = 120, <0 disables).
+	SlowClientFrames int
 }
 
 // Server streams content to connected players.
@@ -46,6 +79,9 @@ type Server struct {
 
 	mu      sync.Mutex
 	clients map[*clientConn]struct{}
+	// pending holds accepted connections still in the handshake, so
+	// Shutdown can sever them without waiting for handshake deadlines.
+	pending map[net.Conn]struct{}
 	nextID  uint32
 
 	wg       sync.WaitGroup
@@ -75,9 +111,31 @@ type clientConn struct {
 	// queue drains — the transport-level arm of the paper's cross-layer
 	// rate adaptation.
 	degrade int
+	// fcDrops counts consecutive frames whose FrameComplete marker could
+	// not even be enqueued; crossing SlowClientFrames drops the client.
+	fcDrops int
 
-	out  chan wire.Message
-	done chan struct{}
+	out   chan wire.Message
+	done  chan struct{}
+	drain chan struct{}
+
+	closeOnce sync.Once
+	drainOnce sync.Once
+}
+
+// close severs the connection and releases everything blocked on it: the
+// reader (socket closed), the writer and the frame loop (done closed).
+// Safe to call from any goroutine, any number of times.
+func (c *clientConn) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+// beginDrain asks the writer to flush queued messages and close.
+func (c *clientConn) beginDrain() {
+	c.drainOnce.Do(func() { close(c.drain) })
 }
 
 // NewServer validates the config and returns a server.
@@ -97,23 +155,59 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Trace == nil {
 		cfg.Trace = obs.Default()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default()
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		if cfg.HeartbeatEvery > 0 {
+			cfg.IdleTimeout = 4 * cfg.HeartbeatEvery
+		} else {
+			cfg.IdleTimeout = 4 * time.Second
+		}
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.SlowClientFrames == 0 {
+		cfg.SlowClientFrames = 120
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:     cfg,
 		vis:     vivo.New(cfg.Store.Grid(), vivo.DefaultParams()),
 		clients: map[*clientConn]struct{}{},
+		pending: map[net.Conn]struct{}{},
 		ctx:     ctx,
 		cancel:  cancel,
 	}, nil
 }
 
-// Serve accepts connections on ln until Shutdown. It owns ln.
+// NumClients returns the number of registered (post-handshake) clients.
+func (s *Server) NumClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Serve accepts connections on ln until Shutdown. It owns ln. Transient
+// accept failures (EMFILE-class, injected chaos faults) are retried with
+// capped backoff instead of killing the server.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.frameLoop()
+	var retryDelay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -121,9 +215,26 @@ func (s *Server) Serve(ln net.Listener) error {
 			case <-s.ctx.Done():
 				return nil
 			default:
-				return fmt.Errorf("transport: accept: %w", err)
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if retryDelay == 0 {
+					retryDelay = 5 * time.Millisecond
+				} else if retryDelay *= 2; retryDelay > time.Second {
+					retryDelay = time.Second
+				}
+				s.cfg.Metrics.Counter("transport.accept.retries").Inc()
+				s.cfg.Logf("transport: accept: %v (retrying in %v)", err, retryDelay)
+				select {
+				case <-time.After(retryDelay):
+				case <-s.ctx.Done():
+					return nil
+				}
+				continue
+			}
+			return fmt.Errorf("transport: accept: %w", err)
 		}
+		retryDelay = 0
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -142,18 +253,55 @@ func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
 	return s.Serve(ln)
 }
 
-// Shutdown stops accepting, disconnects clients and waits for workers.
+// Shutdown stops accepting, gracefully drains every client and waits for
+// workers. Draining means each connection's writer flushes the frames
+// already queued (ending with a Bye) inside the DrainTimeout budget;
+// stragglers are force-closed when the budget expires. Connections still
+// mid-handshake are severed immediately — there is nothing to drain.
 func (s *Server) Shutdown() {
-	s.cancel()
+	start := time.Now()
+	// Cancel under s.mu: handle() checks s.ctx under the same lock before
+	// registering, so no client can slip into the maps after the snapshot
+	// below (the zombie-registration race).
 	s.mu.Lock()
-	if s.listener != nil {
-		s.listener.Close()
-	}
+	s.cancel()
+	ln := s.listener
+	clients := make([]*clientConn, 0, len(s.clients))
 	for c := range s.clients {
-		c.conn.Close()
+		clients = append(clients, c)
+	}
+	pending := make([]net.Conn, 0, len(s.pending))
+	for conn := range s.pending {
+		pending = append(pending, conn)
 	}
 	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conn := range pending {
+		conn.Close()
+	}
+	for _, c := range clients {
+		c.beginDrain()
+	}
+	// Force-close whatever is still connected when the drain budget
+	// expires (covers both slow drains and clients that connected between
+	// the snapshot and the listener close — they were rejected at
+	// registration, but their sockets may still be open).
+	forceTimer := time.AfterFunc(s.cfg.DrainTimeout, func() {
+		s.mu.Lock()
+		for c := range s.clients {
+			c.close()
+		}
+		for conn := range s.pending {
+			conn.Close()
+		}
+		s.mu.Unlock()
+	})
 	s.wg.Wait()
+	forceTimer.Stop()
+	s.cfg.Metrics.Timer("transport.shutdown.drain").Observe(time.Since(start))
 }
 
 // handle runs one client connection.
@@ -161,37 +309,70 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
+	// Track the connection through the handshake so Shutdown can sever it
+	// without waiting out the handshake deadline; reject outright when
+	// shutdown already started.
+	s.mu.Lock()
+	if s.ctx.Err() != nil {
+		s.mu.Unlock()
+		s.cfg.Metrics.Counter("transport.rejects.shutdown").Inc()
+		return
+	}
+	s.pending[conn] = struct{}{}
+	s.mu.Unlock()
+	unpend := func() {
+		s.mu.Lock()
+		delete(s.pending, conn)
+		s.mu.Unlock()
+	}
+
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	msg, err := wire.ReadMessage(conn)
 	if err != nil {
+		unpend()
 		s.cfg.Logf("transport: handshake read: %v", err)
 		return
 	}
 	hello, ok := msg.(*wire.Hello)
 	if !ok {
+		unpend()
 		s.cfg.Logf("transport: expected Hello, got %v", msg.Type())
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
 	c := &clientConn{
-		conn: conn,
-		id:   hello.ClientID,
-		name: hello.Name,
-		pull: hello.Flags&wire.HelloFlagPull != 0,
-		out:  make(chan wire.Message, 4096),
-		done: make(chan struct{}),
+		conn:  conn,
+		id:    hello.ClientID,
+		name:  hello.Name,
+		pull:  hello.Flags&wire.HelloFlagPull != 0,
+		out:   make(chan wire.Message, s.cfg.QueueDepth),
+		done:  make(chan struct{}),
+		drain: make(chan struct{}),
 	}
+	// Registration and the shutdown check share s.mu with Shutdown's
+	// cancel+snapshot, so a connection is either in the snapshot (and gets
+	// drained) or sees the canceled context here (and is rejected) — never
+	// neither, which is what used to hang wg.Wait.
 	s.mu.Lock()
+	if s.ctx.Err() != nil {
+		delete(s.pending, conn)
+		s.mu.Unlock()
+		s.cfg.Metrics.Counter("transport.rejects.shutdown").Inc()
+		return
+	}
+	delete(s.pending, conn)
 	s.nextID++
 	sessionID := s.nextID
 	c.sess = sessionID
 	s.clients[c] = struct{}{}
 	s.mu.Unlock()
+	s.cfg.Metrics.Counter("transport.connects").Inc()
 	defer func() {
 		s.mu.Lock()
 		delete(s.clients, c)
 		s.mu.Unlock()
+		s.cfg.Metrics.Counter("transport.disconnects").Inc()
 	}()
 
 	nx, ny, nz := s.cfg.Store.Grid().Dims()
@@ -208,40 +389,28 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// Writer: drains the outbound queue until the connection ends. Socket
-	// write time accumulates per frame into a send span closed by the
-	// frame's FrameComplete marker.
+	// Single owned writer: every byte after Welcome goes through it, and
+	// its death (write error, drain completion) tears the connection down
+	// via c.close() so the reader, the frame loop, and servePull all stop
+	// feeding a dead peer promptly.
 	writeDone := make(chan struct{})
 	go func() {
 		defer close(writeDone)
-		var sendStart time.Time
-		var sendDur time.Duration
-		for {
-			select {
-			case m := <-c.out:
-				conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-				t0 := time.Now()
-				if err := wire.WriteMessage(conn, m); err != nil {
-					return
-				}
-				if sendStart.IsZero() {
-					sendStart = t0
-				}
-				sendDur += time.Since(t0)
-				if fc, ok := m.(*wire.FrameComplete); ok {
-					s.cfg.Trace.Record(int(fc.Frame), int(c.sess), obs.StageSend, sendStart, sendDur)
-					sendStart, sendDur = time.Time{}, 0
-				}
-			case <-c.done:
-				return
-			}
-		}
+		s.writeLoop(c)
 	}()
 
-	// Reader: pose updates until Bye/EOF/shutdown.
+	// Reader: pose updates, pull requests, pongs — until Bye, an error,
+	// or the idle timeout expires (heartbeat miss).
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		msg, err := wire.ReadMessage(conn)
 		if err != nil {
+			if isTimeout(err) {
+				s.cfg.Metrics.Counter("transport.heartbeat.misses").Inc()
+				s.cfg.Logf("transport: client %d idle for %v — dropping", c.id, s.cfg.IdleTimeout)
+			}
 			break
 		}
 		switch m := msg.(type) {
@@ -255,6 +424,12 @@ func (s *Server) handle(conn net.Conn) {
 			c.pull = true
 			c.mu.Unlock()
 			s.servePull(c, m)
+		case *wire.Ping:
+			// Answer through the owned writer; a full queue on a dying
+			// connection just drops the pong.
+			s.enqueue(c, &wire.Pong{Seq: m.Seq, T: m.T})
+		case *wire.Pong:
+			s.cfg.Metrics.Counter("transport.pongs").Inc()
 		case *wire.Bye:
 			goto done
 		default:
@@ -262,8 +437,83 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 done:
-	close(c.done)
+	c.close()
 	<-writeDone
+}
+
+// writeLoop is the connection's single owned writer. It drains the
+// outbound queue, emits heartbeat pings, and — on drain — flushes what is
+// queued before closing. Exiting for any reason closes the connection.
+func (s *Server) writeLoop(c *clientConn) {
+	defer c.close()
+	var ping <-chan time.Time
+	if s.cfg.HeartbeatEvery > 0 {
+		t := time.NewTicker(s.cfg.HeartbeatEvery)
+		defer t.Stop()
+		ping = t.C
+	}
+	var pingSeq uint32
+	var sendStart time.Time
+	var sendDur time.Duration
+	write := func(m wire.Message) bool {
+		c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		t0 := time.Now()
+		if err := wire.WriteMessage(c.conn, m); err != nil {
+			s.cfg.Metrics.Counter("transport.writer.deaths").Inc()
+			s.cfg.Logf("transport: client %d writer died: %v", c.id, err)
+			return false
+		}
+		if sendStart.IsZero() {
+			sendStart = t0
+		}
+		sendDur += time.Since(t0)
+		if fc, ok := m.(*wire.FrameComplete); ok {
+			s.cfg.Trace.Record(int(fc.Frame), int(c.sess), obs.StageSend, sendStart, sendDur)
+			sendStart, sendDur = time.Time{}, 0
+		}
+		return true
+	}
+	for {
+		select {
+		case m := <-c.out:
+			if !write(m) {
+				return
+			}
+		case <-ping:
+			pingSeq++
+			s.cfg.Metrics.Counter("transport.pings").Inc()
+			if !write(&wire.Ping{Seq: pingSeq, T: time.Now().UnixNano()}) {
+				return
+			}
+		case <-c.drain:
+			s.flush(c, write)
+			return
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// flush empties the queued messages and signs off with a Bye, bounded by
+// the drain budget via per-write deadlines.
+func (s *Server) flush(c *clientConn, write func(wire.Message) bool) {
+	budget := time.Now().Add(s.cfg.DrainTimeout)
+	for {
+		if time.Now().After(budget) {
+			return
+		}
+		select {
+		case m := <-c.out:
+			c.conn.SetWriteDeadline(budget)
+			if err := wire.WriteMessage(c.conn, m); err != nil {
+				return
+			}
+		default:
+			c.conn.SetWriteDeadline(budget)
+			wire.WriteMessage(c.conn, &wire.Bye{})
+			return
+		}
+	}
 }
 
 // frameLoop ticks at the content rate and pushes each frame's cells to
@@ -348,10 +598,40 @@ func (s *Server) pushFrame(frame int) {
 			cells++
 			bytes += uint64(len(blk.Data))
 		}
-		s.enqueue(c, &wire.FrameComplete{
+		fcOK := s.enqueue(c, &wire.FrameComplete{
 			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
 		})
 		ser.End()
+		s.noteSlowClient(c, fcOK)
+	}
+}
+
+// noteSlowClient tracks consecutive frames whose FrameComplete could not
+// even be enqueued. By then the adaptation ladder has already bottomed
+// out, so a peer that still is not draining gets dropped — keeping the
+// session alive would only grow an unbounded backlog of stale frames.
+func (s *Server) noteSlowClient(c *clientConn, fcEnqueued bool) {
+	if s.cfg.SlowClientFrames < 0 {
+		return
+	}
+	select {
+	case <-c.done:
+		return // already being torn down; nothing to decide
+	default:
+	}
+	c.mu.Lock()
+	if fcEnqueued {
+		c.fcDrops = 0
+		c.mu.Unlock()
+		return
+	}
+	c.fcDrops++
+	drops := c.fcDrops
+	c.mu.Unlock()
+	if drops >= s.cfg.SlowClientFrames {
+		s.cfg.Metrics.Counter("transport.drops.slowclient").Inc()
+		s.cfg.Logf("transport: client %d not draining for %d frames — dropping", c.id, drops)
+		c.close()
 	}
 }
 
@@ -424,6 +704,7 @@ func (s *Server) enqueue(c *clientConn, m wire.Message) bool {
 	case c.out <- m:
 		return true
 	default:
+		s.cfg.Metrics.Counter("transport.drops.enqueue").Inc()
 		return false
 	}
 }

@@ -9,6 +9,7 @@
 //	client → server: Hello, then PoseUpdate at the trace rate, Bye to end
 //	server → client: Welcome, then per frame a burst of CellData
 //	                 followed by FrameComplete; Adapt on quality changes
+//	either → either: Ping on an idle link, answered by Pong (heartbeat)
 package wire
 
 import (
@@ -34,6 +35,8 @@ const (
 	TypeAdapt
 	TypeBye
 	TypeSegmentRequest
+	TypePing
+	TypePong
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +58,10 @@ func (t MsgType) String() string {
 		return "Bye"
 	case TypeSegmentRequest:
 		return "SegmentRequest"
+	case TypePing:
+		return "Ping"
+	case TypePong:
+		return "Pong"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -378,6 +385,62 @@ func (m *SegmentRequest) parseBody(b []byte) error {
 	return nil
 }
 
+// Ping is the heartbeat probe. Either side may send it on an idle
+// connection; the peer must answer with a Pong echoing Seq and T. A side
+// that sees neither data nor Pongs within its idle timeout declares the
+// connection dead — that is what turns a silent peer (crashed process,
+// blackholed link) into a prompt, countable disconnect instead of an
+// unbounded hang.
+type Ping struct {
+	// Seq matches a Pong to its Ping.
+	Seq uint32
+	// T is the sender's clock in unix nanoseconds; echoed back, it
+	// yields the heartbeat RTT without synchronized clocks.
+	T int64
+}
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TypePing }
+
+func (m *Ping) appendBody(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, m.Seq)
+	return binary.LittleEndian.AppendUint64(b, uint64(m.T))
+}
+
+func (m *Ping) parseBody(b []byte) error {
+	if len(b) < 12 {
+		return ErrShort
+	}
+	m.Seq = binary.LittleEndian.Uint32(b)
+	m.T = int64(binary.LittleEndian.Uint64(b[4:]))
+	return nil
+}
+
+// Pong answers a Ping, echoing its fields.
+type Pong struct {
+	// Seq is the answered Ping's sequence number.
+	Seq uint32
+	// T is the answered Ping's timestamp.
+	T int64
+}
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return TypePong }
+
+func (m *Pong) appendBody(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, m.Seq)
+	return binary.LittleEndian.AppendUint64(b, uint64(m.T))
+}
+
+func (m *Pong) parseBody(b []byte) error {
+	if len(b) < 12 {
+		return ErrShort
+	}
+	m.Seq = binary.LittleEndian.Uint32(b)
+	m.T = int64(binary.LittleEndian.Uint64(b[4:]))
+	return nil
+}
+
 // Bye terminates the session from either side.
 type Bye struct{}
 
@@ -406,6 +469,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &Bye{}, nil
 	case TypeSegmentRequest:
 		return &SegmentRequest{}, nil
+	case TypePing:
+		return &Ping{}, nil
+	case TypePong:
+		return &Pong{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknown, t)
 	}

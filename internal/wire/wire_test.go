@@ -91,6 +91,29 @@ func TestFrameCompleteAdaptBye(t *testing.T) {
 	roundTrip(t, &Bye{})
 }
 
+func TestPingPongRoundTrip(t *testing.T) {
+	pi := roundTrip(t, &Ping{Seq: 41, T: 1_722_000_000_123_456_789}).(*Ping)
+	if pi.Seq != 41 || pi.T != 1_722_000_000_123_456_789 {
+		t.Errorf("ping got %+v", pi)
+	}
+	po := roundTrip(t, &Pong{Seq: 41, T: -7}).(*Pong)
+	if po.Seq != 41 || po.T != -7 {
+		t.Errorf("pong got %+v", po)
+	}
+	// A Pong must echo a Ping field-for-field.
+	echo := &Pong{Seq: pi.Seq, T: pi.T}
+	if echo.Seq != pi.Seq || echo.T != pi.T {
+		t.Error("echo mismatch")
+	}
+	// Short bodies error cleanly.
+	if err := (&Ping{}).parseBody(make([]byte, 11)); !errors.Is(err, ErrShort) {
+		t.Errorf("short ping: %v", err)
+	}
+	if err := (&Pong{}).parseBody(make([]byte, 11)); !errors.Is(err, ErrShort) {
+		t.Errorf("short pong: %v", err)
+	}
+}
+
 func TestReadMessageErrors(t *testing.T) {
 	// Truncated header.
 	if _, err := ReadMessage(bytes.NewReader([]byte{1, 2})); err == nil {
@@ -152,7 +175,7 @@ func TestReadMessageErrors(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for mt := TypeHello; mt <= TypeBye; mt++ {
+	for mt := TypeHello; mt <= TypePong; mt++ {
 		if mt.String() == "" || strings.HasPrefix(mt.String(), "MsgType(") {
 			t.Errorf("missing name for %d", mt)
 		}
