@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet bench trace-smoke chaos-smoke verify
+.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (and names the offenders) when gofmt would rewrite
+# anything; it never rewrites.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint type-checks the module and runs the vollint suite — the six
+# project-specific invariants of DESIGN.md §9 (determinism, lockedsend,
+# goroutinehygiene, tickleak, nilsafeobs, wireerr). Exit 1 on findings.
+lint:
+	$(GO) run ./cmd/vollint ./...
 
 # bench snapshots the benchmark suite as $(BENCH_OUT) for cross-commit
 # diffing; benchjson echoes the run and fails when nothing parsed (so the
@@ -35,7 +47,7 @@ trace-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSoak|TestChaosScheduleReplaysAcrossListeners' -v ./internal/transport
 
-# verify is the CI gate: static checks, a full build, and the test suite
-# under the race detector (the parallel execution substrate makes -race
-# part of tier-1, not an extra).
-verify: vet build race
+# verify is the CI gate: static checks (vet, gofmt, vollint), a full
+# build, and the test suite under the race detector (the parallel
+# execution substrate makes -race part of tier-1, not an extra).
+verify: vet fmt-check lint build race

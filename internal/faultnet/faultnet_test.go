@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"volcast/internal/testutil/leakcheck"
 )
 
 func TestPlanForDeterministic(t *testing.T) {
@@ -187,6 +189,8 @@ func TestConnBandwidthCap(t *testing.T) {
 }
 
 func TestListenerAcceptFaultAndPlans(t *testing.T) {
+	leak := leakcheck.Take()
+	defer leak.Check(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

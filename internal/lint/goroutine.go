@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var analyzerGoroutineHygiene = &Analyzer{
+	Name: "goroutinehygiene",
+	Doc: "every goroutine spawned by library code must be reapable: its body must " +
+		"reference a context, a done/stop channel, or a WaitGroup",
+	Run: runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Pass) {
+	// Library code only: main packages own the process lifetime, and the
+	// PR 3/4 leaks were all in internal packages.
+	if p.Pkg.Types == nil || p.Pkg.Types.Name() == "main" {
+		return
+	}
+	// Index same-package function declarations so `go s.frameLoop()` can
+	// be checked against frameLoop's body, not just literal closures.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goTargetBody(p.Pkg, decls, gs.Call)
+			if body == nil {
+				return true // body not in this package; nothing to judge
+			}
+			if !hasLifecycleRef(p.Pkg, body) {
+				p.Reportf(gs.Pos(),
+					"plumb a ctx or done channel into the goroutine (or track it with a WaitGroup) so shutdown can reap it",
+					"goroutine body references no context, channel, or WaitGroup — nothing can stop or await it")
+			}
+			return true
+		})
+	}
+}
+
+// goTargetBody resolves the body the go statement will run: a literal's
+// body, or the declaration of a same-package function/method.
+func goTargetBody(pkg *Package, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pkg.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pkg.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasLifecycleRef reports whether the body (including nested literals)
+// touches anything a shutdown path could use to stop or await it: a
+// context.Context, a sync.WaitGroup, or any channel-typed value.
+func hasLifecycleRef(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		t := tv.Type
+		if _, isChan := t.Underlying().(*types.Chan); isChan ||
+			isNamedType(t, "context", "Context") ||
+			isNamedType(t, "sync", "WaitGroup") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//vollint:ignore <check> <reason>
+//
+// The directive suppresses findings of <check> on its own line (trailing
+// comment) or on the line directly below (standalone comment), and the
+// reason is mandatory — it is the audit trail vollint -json exposes.
+const directivePrefix = "vollint:ignore"
+
+// directive is one parsed //vollint:ignore comment.
+type directive struct {
+	file   string
+	line   int
+	col    int
+	check  string
+	reason string
+	// malformed is non-empty when the directive cannot be honored; the
+	// problem is reported under DirectiveCheck.
+	malformed string
+	used      bool
+}
+
+// collectDirectives parses every vollint:ignore comment of a package.
+func collectDirectives(pkg *Package, known map[string]bool) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, col: pos.Column}
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing check name and reason"
+				case !known[fields[0]]:
+					d.malformed = fmt.Sprintf("unknown check %q", fields[0])
+				case len(fields) == 1:
+					d.check = fields[0]
+					d.malformed = "missing reason (the audit trail is the point)"
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// matchDirective finds a well-formed directive covering the finding: same
+// file, same check, on the finding's line or the line above.
+func matchDirective(dirs []*directive, f Finding) *directive {
+	for _, d := range dirs {
+		if d.malformed != "" || d.check != f.Check || d.file != f.File {
+			continue
+		}
+		if d.line == f.Line || d.line == f.Line-1 {
+			return d
+		}
+	}
+	return nil
+}

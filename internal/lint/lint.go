@@ -1,0 +1,177 @@
+// Package lint is volcast's project-specific static-analysis suite: a
+// small analyzer framework on the standard library's go/ast + go/parser +
+// go/types (source importer — no x/tools dependency) that enforces the
+// invariants the reproduction's correctness rests on and no generic tool
+// checks. Simulation results must be a pure function of the seed, so
+// sim-path packages must not read the wall clock or the global math/rand
+// (determinism). Hot-path goroutines must be cancellable and leak-free
+// (goroutinehygiene, tickleak, lockedsend). The observability layers must
+// stay nil-safe (nilsafeobs), and the transport must never silently drop
+// a write error (wireerr).
+//
+// Findings carry file:line, the check name and a one-line fix hint. A
+// deliberate exception is suppressed — with an audit trail — by a
+//
+//	//vollint:ignore <check> <reason>
+//
+// comment on the flagged line or the line above it. Directives without a
+// reason, naming an unknown check, or matching no finding are themselves
+// findings, so stale suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Msg   string `json:"msg"`
+	// Hint is the one-line suggested fix.
+	Hint string `json:"hint,omitempty"`
+	// Suppressed marks a finding matched by a //vollint:ignore directive;
+	// SuppressReason carries the directive's audit-trail reason.
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+// String renders the finding in file:line:col form.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Msg)
+	if f.Hint != "" {
+		s += " (fix: " + f.Hint + ")"
+	}
+	return s
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	// Doc is the invariant the check enforces, one sentence.
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's run over one package.
+type Pass struct {
+	Pkg      *Package
+	check    string
+	findings []Finding
+}
+
+// Reportf records a finding at pos with a fix hint.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	pp := p.Pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Check: p.check,
+		File:  pp.Filename,
+		Line:  pp.Line,
+		Col:   pp.Column,
+		Msg:   fmt.Sprintf(format, args...),
+		Hint:  hint,
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerDeterminism,
+		analyzerLockedSend,
+		analyzerGoroutineHygiene,
+		analyzerTickLeak,
+		analyzerNilSafeObs,
+		analyzerWireErr,
+	}
+}
+
+// AnalyzerNames returns the names of the full suite.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed and
+// unused //vollint:ignore directives are reported. It cannot itself be
+// suppressed.
+const DirectiveCheck = "directive"
+
+// Result is the outcome of a suite run.
+type Result struct {
+	// Findings are the active (unsuppressed) findings, sorted by position.
+	Findings []Finding `json:"findings"`
+	// Suppressed are findings matched by an ignore directive.
+	Suppressed []Finding `json:"suppressed,omitempty"`
+}
+
+// Run applies the analyzers to every package. reportUnusedIgnores should
+// be set when the full suite runs (an ignore directive for a check that
+// did not run cannot be proven unused).
+func Run(pkgs []*Package, analyzers []*Analyzer, reportUnusedIgnores bool) Result {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var res Result
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg, known)
+		var found []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, check: a.Name}
+			a.Run(pass)
+			found = append(found, pass.findings...)
+		}
+		for i := range found {
+			if d := matchDirective(dirs, found[i]); d != nil {
+				d.used = true
+				found[i].Suppressed = true
+				found[i].SuppressReason = d.reason
+				res.Suppressed = append(res.Suppressed, found[i])
+			} else {
+				res.Findings = append(res.Findings, found[i])
+			}
+		}
+		for _, d := range dirs {
+			switch {
+			case d.malformed != "":
+				res.Findings = append(res.Findings, Finding{
+					Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
+					Msg:  "malformed //vollint:ignore directive: " + d.malformed,
+					Hint: "write //vollint:ignore <check> <reason>",
+				})
+			case reportUnusedIgnores && !d.used:
+				res.Findings = append(res.Findings, Finding{
+					Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
+					Msg:  fmt.Sprintf("//vollint:ignore %s directive matches no finding", d.check),
+					Hint: "remove the stale suppression",
+				})
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

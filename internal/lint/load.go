@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package, the unit an
+// Analyzer runs over.
+type Package struct {
+	// Path is the import path findings and analyzer applicability key off
+	// (fixtures may load a directory under an overridden path).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info carry the go/types results. Info always has Defs,
+	// Uses, Selections and Types populated.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds every type-check error encountered; analyzers still
+	// run (the syntax is intact), but vollint reports them and fails.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-local imports are resolved recursively against
+// the module tree, everything else (std) goes through the go/importer
+// source importer. One Loader shares a FileSet across every package it
+// loads, so positions are comparable.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModDir  string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module of dir (walking up to go.mod)
+// and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		modDir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  modDir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer: module-local paths load recursively
+// from source, everything else falls back to the std source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath loads a module-local import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	dir := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+	return l.loadDir(dir, path)
+}
+
+// loadDir parses and type-checks the non-test files of one directory
+// under the given import path, memoized by path.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	p := &Package{
+		Path: path,
+		Dir:  dir,
+		Fset: l.Fset,
+		Info: &types.Info{
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+		},
+		Files: files,
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, p.Info)
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	p.Types = tpkg
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Load resolves package patterns into loaded packages. A pattern is a
+// directory, an import path within the module, or either followed by
+// "/..." for a recursive walk (testdata, vendor, hidden and underscore
+// directories are skipped, as the go tool does).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	seen := map[string]bool{}
+	var out []*Package
+	add := func(dir string) error {
+		path, err := l.importPath(dir)
+		if err != nil {
+			return err
+		}
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		p, err := l.loadDir(dir, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			// Import paths within the module double as directories.
+			if rest, ok := strings.CutPrefix(pat, l.ModPath); ok {
+				dir = filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+			}
+		}
+		if !recursive {
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if !hasGoFiles(p) {
+				return nil
+			}
+			return add(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// importPath maps a directory inside the module to its import path.
+func (l *Loader) importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModDir)
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package determinism is a vollint golden fixture. The test loads it
+// under the sim-path import path volcast/internal/codec, so wall-clock
+// reads are flagged alongside the module-wide global-math/rand rule.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadWallClock reads the wall clock on the simulated encode path.
+func BadWallClock() time.Duration {
+	start := time.Now()          //want:determinism
+	time.Sleep(time.Millisecond) //want:determinism
+	return time.Since(start)     //want:determinism
+}
+
+// BadGlobalRand draws from the shared, un-seeded global generator.
+func BadGlobalRand() int {
+	return rand.Intn(8) //want:determinism
+}
+
+// GoodSeeded threads an explicitly seeded generator; constructing it via
+// the global package functions is the sanctioned pattern.
+func GoodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+// GoodDuration uses the time package only for arithmetic — conversions
+// and constants never touch the clock.
+func GoodDuration(frames, fps int) time.Duration {
+	return time.Duration(frames) * time.Second / time.Duration(fps)
+}

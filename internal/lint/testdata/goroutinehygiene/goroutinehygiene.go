@@ -1,0 +1,64 @@
+// Package goroutinehygiene is a vollint golden fixture: goroutines
+// nothing can stop or await, next to the reapable shapes.
+package goroutinehygiene
+
+import (
+	"context"
+	"sync"
+)
+
+// BadFireAndForget spawns a loop with no lifecycle hooks at all.
+func BadFireAndForget(work func()) {
+	go func() { //want:goroutinehygiene
+		for {
+			work()
+		}
+	}()
+}
+
+// runForever has no lifecycle refs; spawning it is the bug, so the go
+// statement is what gets flagged.
+func runForever(work func()) {
+	for {
+		work()
+	}
+}
+
+// BadNamed spawns a same-package function — the analyzer resolves the
+// declaration body, not just literal closures.
+func BadNamed(work func()) {
+	go runForever(work) //want:goroutinehygiene
+}
+
+// GoodContext polls ctx.Done, so shutdown can reap it.
+func GoodContext(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodWaitGroup is awaitable.
+func GoodWaitGroup(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// GoodDoneChannel signals completion on a channel.
+func GoodDoneChannel(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}

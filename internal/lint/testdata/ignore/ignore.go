@@ -1,0 +1,34 @@
+// Package ignore is a vollint golden fixture for directive hygiene:
+// suppression with a reason, missing reasons, unknown checks, and stale
+// directives that match no finding.
+package ignore
+
+import "time"
+
+func runForever(work func()) {
+	for {
+		work()
+	}
+}
+
+// Suppressed demonstrates a justified suppression with an audit reason.
+func Suppressed(work func()) {
+	go runForever(work) //vollint:ignore goroutinehygiene fixture: the process owns this loop for its whole life
+}
+
+// MissingReason drops the mandatory reason: the directive is malformed
+// and the finding stays active.
+func MissingReason(work func()) {
+	go runForever(work) //vollint:ignore goroutinehygiene
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck(work func()) {
+	go runForever(work) //vollint:ignore gophers because reasons
+}
+
+//vollint:ignore tickleak stale: the ticker below is stopped
+func Stale() {
+	t := time.NewTicker(time.Second)
+	t.Stop()
+}

@@ -1,0 +1,78 @@
+// Package lockedsend is a vollint golden fixture: channel sends and
+// blocking I/O under a held sync.Mutex, plus the shapes the analyzer must
+// not cry wolf about.
+package lockedsend
+
+import (
+	"net"
+	"sync"
+)
+
+type hub struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// BadSend sends on a channel between Lock and Unlock.
+func (h *hub) BadSend(v int) {
+	h.mu.Lock()
+	h.out <- v //want:lockedsend
+	h.mu.Unlock()
+}
+
+// BadSelectSend blocks in a select with no default while locked.
+func (h *hub) BadSelectSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.out <- v: //want:lockedsend
+	}
+}
+
+// BadConnWrite performs socket I/O under the lock: a stalled peer pins
+// the mutex for every other locker.
+func (h *hub) BadConnWrite(c net.Conn, b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.Write(b) //want:lockedsend
+}
+
+// GoodUnlockFirst releases before sending.
+func (h *hub) GoodUnlockFirst(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.out <- v
+}
+
+// GoodNonBlocking cannot block: the default case bails out.
+func (h *hub) GoodNonBlocking(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.out <- v:
+	default:
+	}
+}
+
+// GoodGoroutine spawns the send: the goroutine does not hold the
+// spawner's lock.
+func (h *hub) GoodGoroutine(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.out <- v
+	}()
+}
+
+// GoodBranchUnlock unlocks on the early-return path; the send after the
+// branch runs with the lock released on that path and the analyzer's
+// branch-copy semantics must not report it as held-forever.
+func (h *hub) GoodBranchUnlock(v int, ready bool) {
+	h.mu.Lock()
+	if !ready {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.out <- v
+}

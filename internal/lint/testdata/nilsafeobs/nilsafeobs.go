@@ -1,0 +1,44 @@
+// Package nilsafeobs is a vollint golden fixture. The test loads it
+// under the import path volcast/internal/obs, where exported
+// pointer-receiver methods on Tracer must tolerate a nil receiver.
+package nilsafeobs
+
+// Tracer mirrors the shape of obs.Tracer for the fixture.
+type Tracer struct {
+	count int
+}
+
+// BadBump dereferences a field with no nil guard.
+func (t *Tracer) BadBump() { //want:nilsafeobs
+	t.count++
+}
+
+// GoodGuarded starts with the canonical guard.
+func (t *Tracer) GoodGuarded() int {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// GoodLateGuard initializes a zero value first (the Registry.Snapshot
+// pattern): the guard may be the second statement.
+func (t *Tracer) GoodLateGuard() int {
+	total := 0
+	if t == nil {
+		return total
+	}
+	return total + t.count
+}
+
+// GoodDelegate never touches a field; pure delegation to guarded methods
+// is nil-safe by induction.
+func (t *Tracer) GoodDelegate() {
+	t.GoodGuarded()
+}
+
+// internalBump is unexported: callers inside the package own the nil
+// check, so it is out of scope.
+func (t *Tracer) internalBump() {
+	t.count++
+}

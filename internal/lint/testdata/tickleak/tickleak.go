@@ -1,0 +1,44 @@
+// Package tickleak is a vollint golden fixture: unstoppable and
+// never-stopped tickers, next to the owned-and-stopped and
+// ownership-escapes shapes.
+package tickleak
+
+import "time"
+
+// BadTick uses the convenience ticker that can never be stopped.
+func BadTick(work func()) {
+	for range time.Tick(time.Second) { //want:tickleak
+		work()
+	}
+}
+
+// BadNeverStopped binds a ticker, drains its channel, and never stops
+// it — draining is not stopping.
+func BadNeverStopped(work func(), n int) {
+	t := time.NewTicker(time.Second) //want:tickleak
+	for i := 0; i < n; i++ {
+		<-t.C
+		work()
+	}
+}
+
+// BadDiscarded throws the ticker away outright.
+func BadDiscarded() {
+	_ = time.NewTicker(time.Second) //want:tickleak
+}
+
+// GoodDeferStop is the canonical pattern.
+func GoodDeferStop(work func(), n int) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for i := 0; i < n; i++ {
+		<-t.C
+		work()
+	}
+}
+
+// GoodEscape hands ownership — and the Stop obligation — to the caller.
+func GoodEscape() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}

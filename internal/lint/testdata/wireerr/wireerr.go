@@ -1,0 +1,44 @@
+// Package wireerr is a vollint golden fixture. The test loads it under
+// volcast/internal/transport, the package the check is scoped to.
+package wireerr
+
+import (
+	"bufio"
+	"net"
+
+	"volcast/internal/wire"
+)
+
+// BadDropped drops the write error on the floor.
+func BadDropped(c net.Conn) {
+	wire.WriteMessage(c, &wire.Bye{}) //want:wireerr
+}
+
+// BadBlank discards the error explicitly without a directive.
+func BadBlank(c net.Conn) {
+	_ = wire.WriteMessage(c, &wire.Bye{}) //want:wireerr
+}
+
+// BadFlush ignores a buffered writer's flush error — the bytes may never
+// have left the process.
+func BadFlush(bw *bufio.Writer) {
+	bw.Flush() //want:wireerr
+}
+
+// BadConnWrite ignores a raw socket write error.
+func BadConnWrite(c net.Conn, b []byte) {
+	c.Write(b) //want:wireerr
+}
+
+// GoodChecked propagates the error.
+func GoodChecked(c net.Conn) error {
+	return wire.WriteMessage(c, &wire.Bye{})
+}
+
+// GoodSuppressed documents a deliberate best-effort write with the
+// mandatory audit reason.
+func GoodSuppressed(c net.Conn) {
+	//vollint:ignore wireerr fixture: best-effort goodbye, the close below severs the socket anyway
+	_ = wire.WriteMessage(c, &wire.Bye{})
+	c.Close()
+}

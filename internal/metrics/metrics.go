@@ -153,6 +153,18 @@ func (h *Histogram) Observe(v float64) {
 	h.n++
 }
 
+// TimeMillis starts a measurement; the returned func records the elapsed
+// time in milliseconds — the unit of the default MillisBuckets ladder.
+// It exists so sim-path packages can observe latencies without reading
+// the wall clock themselves (the determinism lint check).
+func (h *Histogram) TimeMillis() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 {
 	if h == nil {

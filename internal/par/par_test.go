@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"volcast/internal/testutil/leakcheck"
 )
 
 func TestWorkersDefaultPositive(t *testing.T) {
@@ -53,6 +55,10 @@ func TestMapDeterministic(t *testing.T) {
 }
 
 func TestForEachRunsAll(t *testing.T) {
+	// The pool is per-call: every worker must be gone once ForEachN
+	// returns, across every pool width.
+	leak := leakcheck.Take()
+	defer leak.Check(t)
 	for _, workers := range []int{1, 4, 16} {
 		var count atomic.Int64
 		if err := ForEachN(context.Background(), workers, 100, func(int) error {
@@ -111,6 +117,10 @@ func TestPanicPropagatesAsError(t *testing.T) {
 // TestCancelStopsScheduling checks that a pre-cancelled context schedules
 // no work and that a mid-run cancellation stops new items promptly.
 func TestCancelStopsScheduling(t *testing.T) {
+	// Cancellation must not strand workers: the in-flight items finish
+	// and every goroutine exits (the retry in Check absorbs the tail).
+	leak := leakcheck.Take()
+	defer leak.Check(t)
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()

@@ -10,6 +10,7 @@ import (
 
 	"volcast/internal/faultnet"
 	"volcast/internal/metrics"
+	"volcast/internal/testutil/leakcheck"
 	"volcast/internal/trace"
 )
 
@@ -40,7 +41,7 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak skipped in -short")
 	}
-	baseline := runtime.NumGoroutine()
+	leak := leakcheck.Take()
 
 	reg := metrics.NewRegistry()
 	store := testStore(t, 5, 8_000)
@@ -142,17 +143,10 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	// Zero goroutine leaks: connection handlers, writers, pose senders,
-	// frame loop must all be gone. Allow scheduler settle time plus slack
-	// for runtime-internal goroutines.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
-		time.Sleep(50 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > baseline+2 {
-		buf := make([]byte, 1<<20)
-		t.Errorf("goroutine leak: %d before soak, %d after shutdown\n%s",
-			baseline, n, buf[:runtime.Stack(buf, true)])
-	}
+	// frame loop must all be gone. The snapshot diff names the spawner of
+	// anything that survives, where the old count delta could only say
+	// "some number grew".
+	leak.Check(t)
 
 	// Reproducibility: the schedule each connection actually ran is a
 	// pure function of (seed, connection index) — rerunning with this

@@ -237,6 +237,7 @@ out:
 		stats.AvgFPS = float64(stats.Frames) / elapsed
 	}
 	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	//vollint:ignore wireerr best-effort goodbye on a session that is already over; the deferred Close severs the socket either way
 	_ = wire.WriteMessage(conn, &wire.Bye{})
 	return stats, nil
 }

@@ -510,7 +510,11 @@ func (s *Server) flush(c *clientConn, write func(wire.Message) bool) {
 			}
 		default:
 			c.conn.SetWriteDeadline(budget)
-			wire.WriteMessage(c.conn, &wire.Bye{})
+			if err := wire.WriteMessage(c.conn, &wire.Bye{}); err != nil {
+				// The goodbye is best-effort, but a failed one is worth
+				// counting: it means the peer vanished mid-drain.
+				s.cfg.Metrics.Counter("transport.drain.bye_failed").Inc()
+			}
 			return
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"volcast/internal/blockcache"
 	"volcast/internal/cell"
@@ -54,21 +53,24 @@ func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides [
 	}
 	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
 
+	// Wall-clock sampling happens inside the obs/metrics layers (Begin/End,
+	// Time, TimeMillis) — the build path itself never reads the clock, so
+	// the determinism check holds: stored bytes are a pure function of the
+	// input video, grid, and encoder parameters.
 	reg := metrics.Default()
 	tr := obs.Default()
-	start := time.Now()
+	stopBuild := reg.Timer("vivo.build_store").Time()
 	if err := par.ForEach(context.Background(), len(v.Frames), func(fi int) error {
-		t := time.Now()
+		sp := tr.Begin(fi, obs.PipelineUser, obs.StageEncode)
+		stopFrame := reg.Histogram("vivo.encode_frame_ms", nil).TimeMillis()
 		st.frames[fi] = encodeFrame(v.Frames[fi], g, enc, ss)
-		d := time.Since(t)
-		reg.Histogram("vivo.encode_frame_ms", nil).
-			Observe(float64(d) / float64(time.Millisecond))
-		tr.Record(fi, obs.PipelineUser, obs.StageEncode, t, d)
+		stopFrame()
+		sp.End()
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	reg.Timer("vivo.build_store").Observe(time.Since(start))
+	stopBuild()
 	reg.Counter("vivo.frames_encoded").Add(int64(len(v.Frames)))
 	return st, nil
 }
