@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke verify
+.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ trace-smoke:
 # client finishing, and the fault schedule replaying from the seed.
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSoak|TestChaosScheduleReplaysAcrossListeners' -v ./internal/transport
+
+# loadtest-smoke drives the pinned multi-session scenario — 4 sessions ×
+# 16 clients, fixed seed — through a self-hosted hub and fails unless
+# every gate holds: no hang, frames delivered, goroutines accounted for.
+loadtest-smoke:
+	$(GO) run ./cmd/volload -sessions 4 -clients 64 -duration 8s \
+		-frames 20 -points 2000 -load-seed 42 -min-frames 1000
 
 # verify is the CI gate: static checks (vet, gofmt, vollint), a full
 # build, and the test suite under the race detector (the parallel

@@ -1,0 +1,446 @@
+// Command volload is the trace-driven load generator for the session
+// hub: it drives hundreds to thousands of synthetic volcast clients —
+// spread across N scenes, with optional join/leave churn and seeded
+// faultnet faults — against one server process, and emits a JSON report
+// (sessions, clients, frames, p50/p95/p99 frame latency, cache hit rate,
+// drops) so the multi-user scale claim lands in a number.
+//
+// By default it self-hosts a hub over TCP loopback in the same process,
+// which is what makes the cross-session encode-cache hit rate observable
+// in the report (the cache counters live in the process registry). Point
+// it at an external volserve with -addr; cache stats are then reported
+// as unavailable.
+//
+// Usage:
+//
+//	volload -sessions 4 -clients 64 -duration 10s        # self-hosted smoke
+//	volload -clients 500 -sessions 8 -churn-every 2s     # churn at scale
+//	volload -fault-reset 0.3 -load-seed 7                # seeded chaos
+//	volload -addr host:7272                              # external server
+//	volload -out report.json -merge BENCH_2026-08-08.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"volcast/internal/blockcache"
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/faultnet"
+	"volcast/internal/hub"
+	"volcast/internal/metrics"
+	"volcast/internal/pointcloud"
+	"volcast/internal/trace"
+	"volcast/internal/transport"
+	"volcast/internal/vivo"
+)
+
+// report is the JSON document volload emits; the schema is consumed by
+// the BENCH_*.json trajectory (merged under the "loadtest" key).
+type report struct {
+	Sessions   int     `json:"sessions"`
+	Clients    int     `json:"clients"`
+	Joins      int64   `json:"joins"`
+	Reconnects int64   `json:"reconnects"`
+	DurationS  float64 `json:"duration_s"`
+	LoadSeed   int64   `json:"load_seed"`
+	ChurnEvery string  `json:"churn_every,omitempty"`
+
+	Frames        int64 `json:"frames"`
+	Cells         int64 `json:"cells"`
+	Bytes         int64 `json:"bytes"`
+	FramesDropped int64 `json:"frames_dropped"`
+	DecodeErrors  int64 `json:"decode_errors"`
+	ClientErrors  int64 `json:"client_errors"`
+
+	Latency latencyStats `json:"frame_latency_ms"`
+
+	DropsEnqueue    int64 `json:"drops_enqueue"`
+	DropsSlowClient int64 `json:"drops_slowclient"`
+
+	// Cache is nil when the server runs out-of-process (-addr): its
+	// registry is not reachable from here.
+	Cache *cacheStats `json:"cache,omitempty"`
+
+	GoroutinesStart int  `json:"goroutines_start"`
+	GoroutinesEnd   int  `json:"goroutines_end"`
+	Hung            bool `json:"hung"`
+}
+
+type latencyStats struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+}
+
+type cacheStats struct {
+	EncodeHits   int64   `json:"encode_hits"`
+	EncodeMisses int64   `json:"encode_misses"`
+	HitRate      float64 `json:"hit_rate"`
+	// PerSession maps scene label → hits/misses against the shared
+	// encode tier, the cross-session sharing evidence.
+	PerSession map[string]hitMiss `json:"per_session,omitempty"`
+}
+
+type hitMiss struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "external server address (empty = self-host a hub over loopback; required for cache stats)")
+	sessions := flag.Int("sessions", 4, "scenes to spread clients across")
+	clients := flag.Int("clients", 64, "concurrent clients")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	churnEvery := flag.Duration("churn-every", 0, "make each client leave and rejoin about this often (0 = stay connected; jittered ±50% per client)")
+	loadSeed := flag.Int64("load-seed", 1, "seed for traces, churn jitter and fault schedules — same seed ⇒ same run shape")
+	decode := flag.Bool("decode", false, "fully decode received cells (CPU-heavy at scale)")
+	frames := flag.Int("frames", 30, "self-host: video frames per scene (looped)")
+	points := flag.Int("points", 4000, "self-host: points per frame")
+	performers := flag.Int("performers", 1, "self-host: humanoids on stage")
+	seed := flag.Int64("seed", 1, "self-host: content seed for scene 0")
+	seedStride := flag.Int64("scene-seed-stride", 0, "self-host: scene k content seed = seed+k*stride; 0 = identical content in every scene (maximal cross-session cache sharing)")
+	cacheMB := flag.Int("cache", -1, "self-host: hub-wide shared cache budget in MB (-1 = VOLCAST_CACHE_MB or 64)")
+	faultReset := flag.Float64("fault-reset", 0, "per-connection probability of a mid-stream reset (client-side faultnet)")
+	faultResetKB := flag.Int64("fault-reset-kb", 256, "mean KB before a scheduled reset fires")
+	faultLatency := flag.Duration("fault-latency", 0, "added latency per socket op")
+	faultStallEvery := flag.Int("fault-stall-every", 0, "stall every Nth read (0 = never)")
+	faultStallDur := flag.Duration("fault-stall", 20*time.Millisecond, "injected read-stall duration")
+	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
+	merge := flag.String("merge", "", "merge the report into this benchjson BENCH_*.json under the \"loadtest\" key")
+	minFrames := flag.Int64("min-frames", 1, "exit nonzero unless at least this many frames completed in total")
+	flag.Parse()
+	if *sessions < 1 || *clients < 1 {
+		log.Fatal("volload: need -sessions >= 1 and -clients >= 1")
+	}
+
+	goroutinesStart := runtime.NumGoroutine()
+	rep := report{
+		Sessions:        *sessions,
+		Clients:         *clients,
+		LoadSeed:        *loadSeed,
+		GoroutinesStart: goroutinesStart,
+	}
+	if *churnEvery > 0 {
+		rep.ChurnEvery = churnEvery.String()
+	}
+
+	// Self-host a hub unless pointed at an external server.
+	var h *hub.Hub
+	target := *addr
+	if target == "" {
+		blockcache.SetBudgetMB(*cacheMB)
+		var err error
+		h, err = hub.New(hub.Config{
+			NewStore:    sceneFactory(*frames, *points, *performers, *seed, *seedStride),
+			MaxSessions: *sessions,
+			ReapAfter:   -1, // sessions live for the whole run
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready := make(chan string, 1)
+		go func() {
+			if err := h.ListenAndServe("127.0.0.1:0", ready); err != nil {
+				log.Fatalf("volload: hub: %v", err)
+			}
+		}()
+		target = <-ready
+		log.Printf("volload: self-hosted hub on %s", target)
+	}
+
+	// Pose streams: the study cohort's real-motion traces, one per
+	// client round-robin, so viewports overlap the way the paper's user
+	// study says they do (that overlap is what the multicast marking and
+	// the shared fan-out buffers exploit).
+	study := trace.GenerateStudy(int(duration.Seconds()*30)+60, *loadSeed)
+
+	var dialer *faultnet.Dialer
+	if *faultReset > 0 || *faultLatency > 0 || *faultStallEvery > 0 {
+		kb := *faultResetKB
+		if kb < 2 {
+			kb = 2
+		}
+		dialer = faultnet.NewDialer(faultnet.Config{
+			Seed:            *loadSeed,
+			Latency:         *faultLatency,
+			ResetProb:       *faultReset,
+			ResetAfterBytes: [2]int64{kb << 9, kb << 10 * 3 / 2},
+			StallEvery:      *faultStallEvery,
+			StallDur:        *faultStallDur,
+		})
+		log.Printf("volload: client-side faults enabled (seed %d): reset p=%.2f @~%dKB, stall 1/%d×%v, latency %v",
+			*loadSeed, *faultReset, kb, *faultStallEvery, *faultStallDur, *faultLatency)
+	}
+
+	log.Printf("volload: driving %d clients across %d sessions for %v…", *clients, *sessions, *duration)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	// Per-client accumulators; merged single-threaded after the fleet
+	// lands, so the hot path takes no shared locks.
+	latencies := make([][]float64, *clients)
+	stats := make([]transport.ClientStats, *clients)
+	joins := make([]int64, *clients)
+	errs := make([]int64, *clients)
+
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*loadSeed*1_000_003 + int64(i)))
+			// Stagger arrivals across the first second so a 500-client
+			// fleet does not land as one accept burst.
+			select {
+			case <-time.After(time.Duration(rng.Int63n(int64(time.Second)))):
+			case <-ctx.Done():
+				return
+			}
+			cfg := transport.ClientConfig{
+				Addr:      target,
+				ID:        uint32(i + 1),
+				Name:      fmt.Sprintf("load%d", i),
+				Scene:     uint32(i % *sessions),
+				Trace:     study.Traces[i%len(study.Traces)],
+				Decode:    *decode,
+				Reconnect: true,
+				OnFrameLatency: func(d time.Duration) {
+					latencies[i] = append(latencies[i], float64(d)/float64(time.Millisecond))
+				},
+			}
+			if dialer != nil {
+				cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+					d := net.Dialer{Timeout: 5 * time.Second}
+					conn, err := d.DialContext(ctx, "tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					return dialer.Wrap(conn), nil
+				}
+			}
+			for {
+				left := time.Until(deadline)
+				if left <= 50*time.Millisecond {
+					return
+				}
+				cfg.Duration = left
+				if *churnEvery > 0 {
+					// Jittered session length: leave, pause a beat, rejoin
+					// as a fresh connection — the lifecycle churn that
+					// exercises session reap/rebuild under load.
+					stay := *churnEvery/2 + time.Duration(rng.Int63n(int64(*churnEvery)))
+					if stay < left {
+						cfg.Duration = stay
+					}
+				}
+				joins[i]++
+				s, err := transport.RunClient(ctx, cfg)
+				stats[i].Frames += s.Frames
+				stats[i].Cells += s.Cells
+				stats[i].Bytes += s.Bytes
+				stats[i].DecodeErrors += s.DecodeErrors
+				stats[i].FramesDropped += s.FramesDropped
+				stats[i].Reconnects += s.Reconnects
+				if err != nil {
+					errs[i]++
+				}
+				if *churnEvery == 0 && err == nil {
+					return // stayed for the whole run
+				}
+				select {
+				case <-time.After(time.Duration(rng.Int63n(int64(100 * time.Millisecond)))):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+
+	// The fleet must land on its own; a hang here is a finding, not a
+	// wait. Budget: the run plus a generous drain allowance.
+	fleetDone := make(chan struct{})
+	go func() { defer close(fleetDone); wg.Wait() }()
+	select {
+	case <-fleetDone:
+	case <-time.After(*duration + 30*time.Second):
+		rep.Hung = true
+		log.Printf("volload: HANG — fleet still running %v past the deadline", 30*time.Second)
+	}
+	rep.DurationS = time.Since(start).Seconds()
+
+	if h != nil {
+		h.Shutdown()
+	}
+
+	// Aggregate.
+	var all []float64
+	for i := range stats {
+		rep.Frames += int64(stats[i].Frames)
+		rep.Cells += int64(stats[i].Cells)
+		rep.Bytes += stats[i].Bytes
+		rep.FramesDropped += int64(stats[i].FramesDropped)
+		rep.DecodeErrors += int64(stats[i].DecodeErrors)
+		rep.Reconnects += int64(stats[i].Reconnects)
+		rep.Joins += joins[i]
+		rep.ClientErrors += errs[i]
+		all = append(all, latencies[i]...)
+	}
+	sort.Float64s(all)
+	rep.Latency = latencyStats{
+		Samples: len(all),
+		P50:     percentile(all, 0.50),
+		P95:     percentile(all, 0.95),
+		P99:     percentile(all, 0.99),
+	}
+	if n := len(all); n > 0 {
+		rep.Latency.Max = all[n-1]
+	}
+	snap := metrics.Default().Snapshot()
+	rep.DropsEnqueue = snap.Counters["transport.drops.enqueue"]
+	rep.DropsSlowClient = snap.Counters["transport.drops.slowclient"]
+	if h != nil {
+		cs := &cacheStats{
+			EncodeHits:   snap.Counters["blockcache.encode.hits"],
+			EncodeMisses: snap.Counters["blockcache.encode.misses"],
+			PerSession:   map[string]hitMiss{},
+		}
+		if total := cs.EncodeHits + cs.EncodeMisses; total > 0 {
+			cs.HitRate = float64(cs.EncodeHits) / float64(total)
+		}
+		for name, v := range snap.Counters {
+			rest, ok := strings.CutPrefix(name, "blockcache.encode.session.")
+			if !ok {
+				continue
+			}
+			label, kind, ok := strings.Cut(rest, ".")
+			if !ok {
+				continue
+			}
+			hm := cs.PerSession[label]
+			switch kind {
+			case "hits":
+				hm.Hits = v
+			case "misses":
+				hm.Misses = v
+			}
+			cs.PerSession[label] = hm
+		}
+		rep.Cache = cs
+	}
+
+	// Leak check: give drained writers/readers a beat to unwind, then
+	// record where the goroutine count settled.
+	for i := 0; i < 40; i++ {
+		if runtime.NumGoroutine() <= goroutinesStart+2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rep.GoroutinesEnd = runtime.NumGoroutine()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("volload: report written to %s", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if *merge != "" {
+		if err := mergeIntoBench(*merge, rep); err != nil {
+			log.Fatalf("volload: merge: %v", err)
+		}
+		log.Printf("volload: merged under \"loadtest\" in %s", *merge)
+	}
+
+	log.Printf("volload: %d frames, p50/p95/p99 %.1f/%.1f/%.1f ms, %d joins, %d reconnects, goroutines %d→%d",
+		rep.Frames, rep.Latency.P50, rep.Latency.P95, rep.Latency.P99,
+		rep.Joins, rep.Reconnects, rep.GoroutinesStart, rep.GoroutinesEnd)
+	if rep.Hung {
+		log.Fatal("volload: FAILED: run hung")
+	}
+	if rep.Frames < *minFrames {
+		log.Fatalf("volload: FAILED: %d frames < -min-frames %d", rep.Frames, *minFrames)
+	}
+}
+
+// sceneFactory returns the self-host NewStore: small synthetic content
+// per scene, encoded through the scene's labeled view of the shared
+// encode tier. A zero stride gives every scene identical content, the
+// best case for cross-session sharing.
+func sceneFactory(frames, points, performers int, seed, stride int64) func(uint32, codec.BlockCache) (*vivo.Store, error) {
+	return func(scene uint32, blocks codec.BlockCache) (*vivo.Store, error) {
+		sceneSeed := seed + int64(scene)*stride
+		var video *pointcloud.Video
+		if performers <= 1 {
+			video = pointcloud.SynthVideo(pointcloud.SynthConfig{
+				Frames: frames, FPS: 30, PointsPerFrame: points, Seed: sceneSeed, Sway: 1,
+			})
+		} else {
+			video = pointcloud.SynthScene(pointcloud.DefaultSceneConfig(frames, points, sceneSeed))
+		}
+		b, ok := video.Bounds()
+		if !ok {
+			return nil, fmt.Errorf("scene %d: empty video", scene)
+		}
+		g, err := cell.NewGrid(b, cell.Size50)
+		if err != nil {
+			return nil, err
+		}
+		enc := codec.NewEncoder(codec.DefaultParams())
+		if blocks != nil {
+			enc = enc.Cached(blocks)
+		}
+		return vivo.BuildStore(video, g, enc, []int{1, 2})
+	}
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample set.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// mergeIntoBench adds the load report to an existing benchjson document
+// under the "loadtest" key, preserving every other field as-is.
+func mergeIntoBench(path string, rep report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	doc["loadtest"] = rep
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

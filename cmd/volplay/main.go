@@ -22,6 +22,7 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:7272", "server address")
 	user := flag.Int("user", 0, "trace user index (0-31)")
+	scene := flag.Int("scene", 0, "hub scene (session) to join; 0 is the default scene")
 	seconds := flag.Float64("seconds", 5, "playback duration")
 	seed := flag.Int64("seed", 1, "trace seed")
 	noDecode := flag.Bool("nodecode", false, "skip decoding (bandwidth test)")
@@ -45,7 +46,7 @@ func main() {
 	var err error
 	if *pull {
 		stats, err = transport.RunPullClient(context.Background(), transport.PullClientConfig{
-			Addr: *addr, ID: uint32(u),
+			Addr: *addr, ID: uint32(u), Scene: uint32(*scene),
 			Trace:    study.Traces[u],
 			Duration: time.Duration(*seconds * float64(time.Second)),
 			Stride:   uint8(*stride),
@@ -54,6 +55,7 @@ func main() {
 	} else {
 		stats, err = transport.RunClient(context.Background(), transport.ClientConfig{
 			Addr: *addr, ID: uint32(u), Name: fmt.Sprintf("volplay-%d", u),
+			Scene:       uint32(*scene),
 			Trace:       study.Traces[u],
 			Duration:    time.Duration(*seconds * float64(time.Second)),
 			Decode:      !*noDecode,

@@ -1,13 +1,16 @@
-// Command volserve runs the volcast TCP content server: it synthesizes a
-// volumetric video, encodes it into cells, and streams viewport-adapted
-// cell bursts to every connected volplay client.
+// Command volserve runs the volcast TCP content server: a multi-tenant
+// session hub that hosts up to -scenes concurrent scenes, synthesizes (or
+// loads) each scene's volumetric video on its first join, encodes it
+// through the hub-wide shared cache tier, and streams viewport-adapted
+// cell bursts to every connected volplay client of that scene.
 //
 // Usage:
 //
 //	volserve [-addr :7272] [-frames 90] [-points 100000] [-performers 3] [-vanilla]
-//	volserve -load content.vcstor            # serve pre-encoded content (volpack)
-//	volserve -debug-addr :7273               # live /metrics, /trace, /qoe, pprof
-//	volserve -chaos-seed 42 -chaos-reset 0.5 # deterministic fault injection
+//	volserve -scenes 64 -scene-seed-stride 0  # many scenes, identical content
+//	volserve -load content.vcstor             # serve pre-encoded content (volpack)
+//	volserve -debug-addr :7273                # live /metrics, /trace, /qoe, pprof
+//	volserve -chaos-seed 42 -chaos-reset 0.5  # deterministic fault injection
 package main
 
 import (
@@ -27,24 +30,27 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/faultnet"
+	"volcast/internal/hub"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
-	"volcast/internal/transport"
 	"volcast/internal/vivo"
 )
 
 func main() {
 	addr := flag.String("addr", ":7272", "listen address")
-	frames := flag.Int("frames", 90, "video frames (looped)")
+	frames := flag.Int("frames", 90, "video frames per scene (looped)")
 	points := flag.Int("points", 100_000, "points per frame")
 	performers := flag.Int("performers", 3, "humanoids on stage")
 	vanilla := flag.Bool("vanilla", false, "disable visibility optimizations")
-	seed := flag.Int64("seed", 1, "content seed")
-	load := flag.String("load", "", "serve a pre-encoded .vcstor container instead of synthesizing")
+	seed := flag.Int64("seed", 1, "content seed for scene 0")
+	scenes := flag.Int("scenes", 16, "max concurrent scenes (sessions); each is built on first join and reaped when idle")
+	seedStride := flag.Int64("scene-seed-stride", 1, "scene k synthesizes with seed+k*stride; 0 makes every scene identical content, maximizing shared encode-tier hits")
+	reapAfter := flag.Duration("reap-after", 10*time.Second, "grace before an empty scene is reaped (negative = never)")
+	load := flag.String("load", "", "serve a pre-encoded .vcstor container instead of synthesizing (every scene shares it)")
 	workers := flag.Int("workers", 0, "parallel pool width (0 = VOLCAST_WORKERS or GOMAXPROCS, 1 = sequential)")
-	cacheMB := flag.Int("cache", -1, "block cache budget in MB (-1 = VOLCAST_CACHE_MB or 64, 0 = disabled)")
+	cacheMB := flag.Int("cache", -1, "hub-wide block cache budget in MB, shared by ALL scenes — one budget for the whole process, not per-session (-1 = VOLCAST_CACHE_MB or 64, 0 = disabled)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "metrics log interval (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, /qoe and pprof on this address (enables the pipeline tracer)")
 	heartbeat := flag.Duration("hb", time.Second, "heartbeat Ping interval (negative disables)")
@@ -62,6 +68,9 @@ func main() {
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
+	// One call, one budget: the shared cache tier spans every scene the
+	// hub hosts, so -cache bounds total cache memory for the process no
+	// matter how many sessions come and go.
 	blockcache.SetBudgetMB(*cacheMB)
 	if *debugAddr != "" {
 		// The tracer rides along with the debug endpoint: installing it
@@ -70,52 +79,72 @@ func main() {
 		obs.SetDefault(obs.New(1 << 17))
 	}
 
-	var store *vivo.Store
+	// newStore builds one scene's content on its first join. The blocks
+	// argument is the scene's labeled view of the hub-wide shared encode
+	// tier: overlapping content across scenes (same seed ⇒ identical
+	// blocks) encodes once, and /metrics splits the hits per scene.
+	var shared *vivo.Store
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err = vivo.ReadStore(f)
+		shared, err = vivo.ReadStore(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("volserve: loaded %s", *load)
-	} else {
-		log.Printf("volserve: generating %d frames × %d points…", *frames, *points)
+		log.Printf("volserve: loaded %s (%d frames, %.0f KB/frame, %.0f Mbps at 30 FPS) — all scenes share it",
+			*load, shared.NumFrames(), shared.AvgFrameBytes()/1e3,
+			codec.BitrateMbps(shared.AvgFrameBytes(), 30))
+	}
+	newStore := func(scene uint32, blocks codec.BlockCache) (*vivo.Store, error) {
+		if shared != nil {
+			return shared, nil
+		}
+		sceneSeed := *seed + int64(scene)**seedStride
+		log.Printf("volserve: scene %d: generating %d frames × %d points (seed %d)…",
+			scene, *frames, *points, sceneSeed)
 		gen := obs.Default().Begin(-1, obs.PipelineUser, obs.StageGenerate)
 		var video *pointcloud.Video
 		if *performers <= 1 {
 			video = pointcloud.SynthVideo(pointcloud.SynthConfig{
-				Frames: *frames, FPS: 30, PointsPerFrame: *points, Seed: *seed, Sway: 1,
+				Frames: *frames, FPS: 30, PointsPerFrame: *points, Seed: sceneSeed, Sway: 1,
 			})
 		} else {
-			video = pointcloud.SynthScene(pointcloud.DefaultSceneConfig(*frames, *points, *seed))
+			video = pointcloud.SynthScene(pointcloud.DefaultSceneConfig(*frames, *points, sceneSeed))
 		}
 		gen.End()
 		b, ok := video.Bounds()
 		if !ok {
-			log.Fatal("volserve: empty video")
+			return nil, fmt.Errorf("scene %d: empty video", scene)
 		}
 		g, err := cell.NewGrid(b, cell.Size50)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		store, err = vivo.BuildStore(video, g, codec.NewEncoder(codec.DefaultParams()), []int{1, 2, 3, 4})
+		enc := codec.NewEncoder(codec.DefaultParams())
+		if blocks != nil {
+			enc = enc.Cached(blocks)
+		}
+		store, err := vivo.BuildStore(video, g, enc, []int{1, 2, 3, 4})
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
+		log.Printf("volserve: scene %d: %d frames, %.0f KB/frame, %.0f Mbps at 30 FPS",
+			scene, store.NumFrames(), store.AvgFrameBytes()/1e3,
+			codec.BitrateMbps(store.AvgFrameBytes(), 30))
+		return store, nil
 	}
-	log.Printf("volserve: %d frames, %.0f KB/frame, %.0f Mbps at 30 FPS",
-		store.NumFrames(), store.AvgFrameBytes()/1e3,
-		codec.BitrateMbps(store.AvgFrameBytes(), 30))
 
-	srv, err := transport.NewServer(transport.ServerConfig{
-		Store: store, Vanilla: *vanilla,
+	h, err := hub.New(hub.Config{
+		NewStore:       newStore,
+		Vanilla:        *vanilla,
 		HeartbeatEvery: *heartbeat,
 		IdleTimeout:    *idleTimeout,
 		DrainTimeout:   *drainTimeout,
+		ReapAfter:      *reapAfter,
+		MaxSessions:    *scenes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -147,14 +176,17 @@ func main() {
 			*chaosSeed, *chaosReset, kb, *chaosStallEvery, *chaosStallDur, *chaosBwMbps, *chaosAcceptFail)
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(serveLn) }()
-	log.Printf("volserve: listening on %s (%d workers)", ln.Addr(), par.Workers())
+	go func() { errCh <- h.Serve(serveLn) }()
+	log.Printf("volserve: listening on %s (up to %d scenes, %d workers); scenes build on first join",
+		ln.Addr(), *scenes, par.Workers())
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
 		debugSrv = &http.Server{
-			Addr:    *debugAddr,
-			Handler: obs.NewDebugMux(obs.DebugConfig{}),
+			Addr: *debugAddr,
+			// UserLabel turns bare tracer user ids into scene<N>/<client>
+			// rows so /qoe stays readable with many sessions.
+			Handler: obs.NewDebugMux(obs.DebugConfig{UserLabel: h.SubscriberLabel}),
 		}
 		go func() {
 			log.Printf("volserve: debug endpoint on %s (/metrics /trace /qoe /debug/pprof/)", *debugAddr)
@@ -184,7 +216,8 @@ func main() {
 			}
 			cur := metrics.Default().Snapshot()
 			if s := cur.Delta(prev).String(); s != "" {
-				log.Printf("volserve: metrics (last %v)\n%s", *statsEvery, s)
+				log.Printf("volserve: metrics (last %v; %d scenes, %d clients)\n%s",
+					*statsEvery, h.NumSessions(), h.NumClients(), s)
 			}
 			prev = cur
 		}
@@ -195,7 +228,7 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Println()
-		log.Printf("volserve: %v — shutting down", s)
+		log.Printf("volserve: %v — shutting down %d scenes", s, h.NumSessions())
 		close(stopStats)
 		<-statsDone
 		if debugSrv != nil {
@@ -203,7 +236,7 @@ func main() {
 			debugSrv.Shutdown(ctx)
 			cancel()
 		}
-		srv.Shutdown()
+		h.Shutdown()
 	case err := <-errCh:
 		if err != nil {
 			log.Fatal(err)

@@ -103,11 +103,29 @@ func (c *Cache) SetBudget(budget int64) {
 	c.evictLocked()
 }
 
+// sessionCounters split a shared tier's hit/miss traffic by session, so a
+// hub-wide cache stays readable on /metrics with many sessions. The
+// adapter resolves them once; the tier-global counters keep aggregating.
+type sessionCounters struct {
+	hits, misses *metrics.Counter
+}
+
+// SessionCounters returns the per-session split counters for label,
+// registered as blockcache.<tier>.session.<label>.{hits,misses}.
+func (c *Cache) SessionCounters(label string) *sessionCounters {
+	prefix := "blockcache." + c.name + ".session." + label + "."
+	return &sessionCounters{
+		hits:   c.reg.Counter(prefix + "hits"),
+		misses: c.reg.Counter(prefix + "misses"),
+	}
+}
+
 // do returns the cached value for key, joins an in-flight compute for it,
 // or runs compute and caches a successful result. compute returns the
 // value, its accounted size in bytes, and an error (errors are returned
-// to every waiter and never cached).
-func (c *Cache) do(key codec.CacheKey, compute func() (any, int64, error)) (any, error) {
+// to every waiter and never cached). A non-nil sc additionally attributes
+// the hit or miss to one session's counters.
+func (c *Cache) do(key codec.CacheKey, sc *sessionCounters, compute func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -115,6 +133,9 @@ func (c *Cache) do(key codec.CacheKey, compute func() (any, int64, error)) (any,
 		c.mu.Unlock()
 		c.counter("hits").Inc()
 		c.counter("bytes_saved").Add(e.size)
+		if sc != nil {
+			sc.hits.Inc()
+		}
 		return e.val, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
@@ -125,12 +146,18 @@ func (c *Cache) do(key codec.CacheKey, compute func() (any, int64, error)) (any,
 		}
 		c.counter("hits").Inc()
 		c.counter("bytes_saved").Add(fl.size)
+		if sc != nil {
+			sc.hits.Inc()
+		}
 		return fl.val, nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 	c.counter("misses").Inc()
+	if sc != nil {
+		sc.misses.Inc()
+	}
 
 	// A miss runs the real encode/decode work: attribute it to the cache
 	// stage on the process tracer (hits are ~ns and only counted).
@@ -189,12 +216,16 @@ const entryOverhead = 160
 // (three float64 coordinates plus RGB, padded).
 const decodedPointSize = 32
 
-// blockTier adapts a Cache to codec.BlockCache.
-type blockTier struct{ c *Cache }
+// blockTier adapts a Cache to codec.BlockCache; a non-nil sc splits the
+// shared tier's hit/miss counters by session.
+type blockTier struct {
+	c  *Cache
+	sc *sessionCounters
+}
 
 // Block implements codec.BlockCache.
 func (t blockTier) Block(key codec.CacheKey, encode func() *codec.Block) *codec.Block {
-	v, _ := t.c.do(key, func() (any, int64, error) {
+	v, _ := t.c.do(key, t.sc, func() (any, int64, error) {
 		b := encode()
 		return b, int64(len(b.Data)) + entryOverhead, nil
 	})
@@ -202,11 +233,14 @@ func (t blockTier) Block(key codec.CacheKey, encode func() *codec.Block) *codec.
 }
 
 // cellTier adapts a Cache to codec.CellCache.
-type cellTier struct{ c *Cache }
+type cellTier struct {
+	c  *Cache
+	sc *sessionCounters
+}
 
 // Cell implements codec.CellCache.
 func (t cellTier) Cell(key codec.CacheKey, decode func() (*codec.DecodedCell, error)) (*codec.DecodedCell, error) {
-	v, err := t.c.do(key, func() (any, int64, error) {
+	v, err := t.c.do(key, t.sc, func() (any, int64, error) {
 		dc, err := decode()
 		if err != nil {
 			return nil, 0, err
@@ -221,10 +255,31 @@ func (t cellTier) Cell(key codec.CacheKey, decode func() (*codec.DecodedCell, er
 
 // BlockCacheOn adapts an explicit tier to codec.BlockCache (tests and
 // custom pipelines; the process-wide tier is Blocks).
-func BlockCacheOn(c *Cache) codec.BlockCache { return blockTier{c} }
+func BlockCacheOn(c *Cache) codec.BlockCache { return blockTier{c: c} }
 
 // CellCacheOn adapts an explicit tier to codec.CellCache.
-func CellCacheOn(c *Cache) codec.CellCache { return cellTier{c} }
+func CellCacheOn(c *Cache) codec.CellCache { return cellTier{c: c} }
+
+// SessionBlocks adapts a shared encode tier to codec.BlockCache with the
+// session's label on its hit/miss counters — the cross-session sharing
+// contract: every session's encoder points at the same cache instance, so
+// overlapping content across scenes is encoded once, while the labeled
+// counters keep the sharing auditable per session. A nil cache returns
+// nil (caching disabled).
+func SessionBlocks(c *Cache, label string) codec.BlockCache {
+	if c == nil {
+		return nil
+	}
+	return blockTier{c: c, sc: c.SessionCounters(label)}
+}
+
+// SessionCells is SessionBlocks for the decode tier.
+func SessionCells(c *Cache, label string) codec.CellCache {
+	if c == nil {
+		return nil
+	}
+	return cellTier{c: c, sc: c.SessionCounters(label)}
+}
 
 // DefaultBudgetMB is the combined byte budget (MB, split evenly between
 // the encode and decode tiers) used when VOLCAST_CACHE_MB is unset.
@@ -286,6 +341,23 @@ func SetBudgetMB(mb int) {
 // tierBudget splits the combined MB budget evenly between the two tiers.
 func tierBudget(mb int) int64 { return int64(mb) << 20 / 2 }
 
+// EncodeTier returns the process-wide shared encode tier instance, or nil
+// when caching is disabled (budget 0). The hub injects per-session labeled
+// views of this one instance (SessionBlocks) into every session's encoder,
+// so overlapping content across scenes is encoded once under the single
+// SetBudgetMB budget.
+func EncodeTier() *Cache {
+	gMu.Lock()
+	defer gMu.Unlock()
+	if budgetLocked() == 0 {
+		return nil
+	}
+	if gBlocks == nil {
+		gBlocks = New("encode", tierBudget(gBudgetMB), nil)
+	}
+	return gBlocks
+}
+
 // Blocks returns the process-wide encode tier as a codec.BlockCache, or
 // nil when caching is disabled (budget 0).
 func Blocks() codec.BlockCache {
@@ -297,7 +369,7 @@ func Blocks() codec.BlockCache {
 	if gBlocks == nil {
 		gBlocks = New("encode", tierBudget(gBudgetMB), nil)
 	}
-	return blockTier{gBlocks}
+	return blockTier{c: gBlocks}
 }
 
 // Cells returns the process-wide decode tier as a codec.CellCache, or
@@ -311,5 +383,5 @@ func Cells() codec.CellCache {
 	if gCells == nil {
 		gCells = New("decode", tierBudget(gBudgetMB), nil)
 	}
-	return cellTier{gCells}
+	return cellTier{c: gCells}
 }

@@ -1,0 +1,455 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"volcast/internal/blockcache"
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/metrics"
+	"volcast/internal/pointcloud"
+	"volcast/internal/testutil/leakcheck"
+	"volcast/internal/vivo"
+	"volcast/internal/wire"
+)
+
+// testFactory builds small identical-content stores for every scene
+// (fixed seed), counting invocations, through the provided encode tier
+// view when one is wired.
+func testFactory(builds *atomic.Int64) func(uint32, codec.BlockCache) (*vivo.Store, error) {
+	return func(scene uint32, blocks codec.BlockCache) (*vivo.Store, error) {
+		if builds != nil {
+			builds.Add(1)
+		}
+		video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+			Frames: 4, FPS: 30, PointsPerFrame: 1500, Seed: 7, Sway: 1,
+		})
+		b, _ := video.Bounds()
+		g, err := cell.NewGrid(b, cell.Size50)
+		if err != nil {
+			return nil, err
+		}
+		enc := codec.NewEncoder(codec.DefaultParams())
+		if blocks != nil {
+			enc = enc.Cached(blocks)
+		}
+		return vivo.BuildStore(video, g, enc, []int{1, 2})
+	}
+}
+
+func startHub(t *testing.T, cfg Config) (*Hub, string) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		if err := h.ListenAndServe("127.0.0.1:0", ready); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	addr := <-ready
+	t.Cleanup(h.Shutdown)
+	return h, addr
+}
+
+// rawJoin dials and completes the Hello/Welcome handshake for a scene,
+// returning the raw connection.
+func rawJoin(t *testing.T, addr string, id, scene uint32) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: id, Name: "raw", Scene: scene}); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		t.Fatalf("welcome: %v", err)
+	}
+	if _, ok := msg.(*wire.Welcome); !ok {
+		conn.Close()
+		t.Fatalf("expected Welcome, got %v", msg.Type())
+	}
+	return conn
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestConcurrentJoinDistinctScenes(t *testing.T) {
+	snap := leakcheck.Take()
+	var builds atomic.Int64
+	h, addr := startHub(t, Config{NewStore: testFactory(&builds), HeartbeatEvery: -1, ReapAfter: -1})
+
+	const scenes = 6
+	conns := make([]net.Conn, scenes)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < scenes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := rawJoin(t, addr, uint32(100+i), uint32(i))
+			mu.Lock()
+			conns[i] = c
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := h.NumSessions(); got != scenes {
+		t.Errorf("NumSessions = %d, want %d", got, scenes)
+	}
+	if got := h.NumClients(); got != scenes {
+		t.Errorf("NumClients = %d, want %d", got, scenes)
+	}
+	if got := builds.Load(); got != scenes {
+		t.Errorf("store builds = %d, want %d (one per scene)", got, scenes)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	h.Shutdown()
+	snap.Check(t)
+}
+
+func TestConcurrentJoinSameSceneBuildsOnce(t *testing.T) {
+	snap := leakcheck.Take()
+	var builds atomic.Int64
+	h, addr := startHub(t, Config{NewStore: testFactory(&builds), HeartbeatEvery: -1, ReapAfter: -1})
+
+	const n = 8
+	conns := make([]net.Conn, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := rawJoin(t, addr, uint32(200+i), 3)
+			mu.Lock()
+			conns[i] = c
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := builds.Load(); got != 1 {
+		t.Errorf("store builds = %d, want 1 (singleflight)", got)
+	}
+	if got := h.NumSessions(); got != 1 {
+		t.Errorf("NumSessions = %d, want 1", got)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	h.Shutdown()
+	snap.Check(t)
+}
+
+func TestLastLeaveReapsSession(t *testing.T) {
+	snap := leakcheck.Take()
+	var builds atomic.Int64
+	reg := metrics.NewRegistry()
+	h, addr := startHub(t, Config{
+		NewStore: testFactory(&builds), HeartbeatEvery: -1,
+		ReapAfter: 150 * time.Millisecond, Metrics: reg,
+	})
+
+	conn := rawJoin(t, addr, 1, 5)
+	waitFor(t, "session creation", 5*time.Second, func() bool { return h.NumSessions() == 1 })
+	conn.Close()
+	waitFor(t, "last-leave reap", 5*time.Second, func() bool { return h.NumSessions() == 0 })
+	if got := reg.Snapshot().Counters["hub.sessions.reaped"]; got != 1 {
+		t.Errorf("hub.sessions.reaped = %d, want 1", got)
+	}
+
+	// The next join rebuilds the scene from scratch.
+	conn2 := rawJoin(t, addr, 2, 5)
+	waitFor(t, "session rebuild", 5*time.Second, func() bool { return h.NumSessions() == 1 })
+	if got := builds.Load(); got != 2 {
+		t.Errorf("store builds = %d, want 2 (reap then rebuild)", got)
+	}
+	conn2.Close()
+	h.Shutdown()
+	snap.Check(t)
+}
+
+func TestShutdownDrainsEverySession(t *testing.T) {
+	snap := leakcheck.Take()
+	h, addr := startHub(t, Config{
+		NewStore: testFactory(nil), HeartbeatEvery: -1, ReapAfter: -1,
+		DrainTimeout: time.Second,
+	})
+
+	// Two clients in each of three scenes, each with a reader pumping the
+	// stream so the drain can flush.
+	const scenes, perScene = 3, 2
+	var wg sync.WaitGroup
+	byes := make(chan struct{}, scenes*perScene)
+	for sc := 0; sc < scenes; sc++ {
+		for k := 0; k < perScene; k++ {
+			conn := rawJoin(t, addr, uint32(sc*10+k), uint32(sc))
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				for {
+					conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+					msg, err := wire.ReadMessage(conn)
+					if err != nil {
+						return // severed after drain budget — acceptable
+					}
+					if _, ok := msg.(*wire.Bye); ok {
+						byes <- struct{}{}
+						return
+					}
+				}
+			}(conn)
+		}
+	}
+	waitFor(t, "all clients registered", 5*time.Second, func() bool {
+		return h.NumClients() == scenes*perScene
+	})
+	h.Shutdown()
+	wg.Wait()
+	if got := h.NumClients(); got != 0 {
+		t.Errorf("NumClients after shutdown = %d, want 0", got)
+	}
+	if got := len(byes); got != scenes*perScene {
+		t.Errorf("clean Bye received by %d clients, want %d", got, scenes*perScene)
+	}
+	snap.Check(t)
+}
+
+// readRawMessage reads one length-framed wire message and returns its
+// full framed bytes (length prefix included) plus the message type.
+func readRawMessage(conn net.Conn) ([]byte, wire.MsgType, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > wire.MaxMessageSize {
+		return nil, 0, fmt.Errorf("bad frame length %d", n)
+	}
+	buf := make([]byte, 4+int(n))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(conn, buf[4:]); err != nil {
+		return nil, 0, err
+	}
+	return buf, wire.MsgType(buf[4]), nil
+}
+
+// TestFanOutParity proves the shared-buffer fan-out delivers
+// byte-identical frames to every subscriber, and that the bytes carry
+// exactly the store's blocks (what the old per-client serialization
+// produced).
+func TestFanOutParity(t *testing.T) {
+	snap := leakcheck.Take()
+	var builds atomic.Int64
+	h, addr := startHub(t, Config{
+		NewStore: testFactory(&builds), HeartbeatEvery: -1, ReapAfter: -1,
+		Vanilla: true, // pose-free: every subscriber requests the same cells
+	})
+
+	const subs = 4
+	const wantFrames = 3
+	conns := make([]net.Conn, subs)
+	for i := range conns {
+		conns[i] = rawJoin(t, addr, uint32(i+1), 0)
+	}
+	// Per subscriber: frame → sorted raw CellData frames plus a count of
+	// complete frames observed.
+	type frameData struct {
+		cells    map[string]int // raw bytes → multiplicity
+		complete bool
+	}
+	collected := make([]map[uint32]*frameData, subs)
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := map[uint32]*frameData{}
+			collected[i] = got
+			var inFrame *frameData
+			var current uint32
+			completes := 0
+			for completes < wantFrames {
+				conns[i].SetReadDeadline(time.Now().Add(10 * time.Second))
+				raw, typ, err := readRawMessage(conns[i])
+				if err != nil {
+					t.Errorf("sub %d: %v", i, err)
+					return
+				}
+				switch typ {
+				case wire.TypeCellData:
+					m, err := wire.ReadMessage(bytes.NewReader(raw))
+					if err != nil {
+						t.Errorf("sub %d: decode: %v", i, err)
+						return
+					}
+					cd := m.(*wire.CellData)
+					if inFrame == nil || cd.Frame != current {
+						current = cd.Frame
+						inFrame = &frameData{cells: map[string]int{}}
+						got[current] = inFrame
+					}
+					inFrame.cells[string(raw)]++
+				case wire.TypeFrameComplete:
+					if inFrame != nil {
+						inFrame.complete = true
+						completes++
+						inFrame = nil
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Compare every frame all subscribers completed, byte for byte.
+	common := 0
+	for frame, ref := range collected[0] {
+		if !ref.complete {
+			continue
+		}
+		sharedByAll := true
+		for i := 1; i < subs; i++ {
+			fd := collected[i][frame]
+			if fd == nil || !fd.complete {
+				sharedByAll = false
+				break
+			}
+			if len(fd.cells) != len(ref.cells) {
+				t.Errorf("frame %d: sub %d has %d distinct cell buffers, sub 0 has %d",
+					frame, i, len(fd.cells), len(ref.cells))
+				continue
+			}
+			for raw, n := range ref.cells {
+				if fd.cells[raw] != n {
+					t.Errorf("frame %d: sub %d cell bytes diverge from sub 0", frame, i)
+					break
+				}
+			}
+		}
+		if sharedByAll {
+			common++
+		}
+	}
+	if common == 0 {
+		t.Error("no frame was completed by all subscribers — nothing compared")
+	}
+
+	// Ground truth: the payload inside each CellData is the store's block
+	// for that (frame, cell, stride), i.e. what per-client serialization
+	// of the same request produced before the refactor.
+	store, err := testFactory(nil)(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for frame, fd := range collected[0] {
+		if !fd.complete {
+			continue
+		}
+		for raw := range fd.cells {
+			m, err := wire.ReadMessage(bytes.NewReader([]byte(raw)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd := m.(*wire.CellData)
+			blk := store.Block(int(frame)%store.NumFrames(), cell.ID(cd.CellID), int(cd.Stride))
+			if blk == nil {
+				t.Errorf("frame %d cell %d stride %d: no such block in store", frame, cd.CellID, cd.Stride)
+				continue
+			}
+			if string(blk.Data) != string(cd.Payload) {
+				t.Errorf("frame %d cell %d: payload diverges from store block", frame, cd.CellID)
+			}
+			if subs > 1 && !cd.Multicast {
+				t.Errorf("frame %d cell %d: shared by %d subscribers but not marked multicast", frame, cd.CellID, subs)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no cell payloads verified against the store")
+	}
+
+	for _, c := range conns {
+		c.Close()
+	}
+	h.Shutdown()
+	snap.Check(t)
+}
+
+func TestCrossSessionCacheSharing(t *testing.T) {
+	snap := leakcheck.Take()
+	reg := metrics.NewRegistry()
+	tier := blockcache.New("encode", 32<<20, reg)
+	h, addr := startHub(t, Config{
+		NewStore: testFactory(nil), HeartbeatEvery: -1, ReapAfter: -1,
+		Metrics: reg, EncodeTier: tier,
+	})
+
+	// Scene 0 builds first (cold tier: misses), scene 1 builds the same
+	// content and must hit the shared encode tier.
+	c0 := rawJoin(t, addr, 1, 0)
+	waitFor(t, "scene 0", 5*time.Second, func() bool { return h.NumSessions() == 1 })
+	c1 := rawJoin(t, addr, 2, 1)
+	waitFor(t, "scene 1", 5*time.Second, func() bool { return h.NumSessions() == 2 })
+
+	counters := reg.Snapshot().Counters
+	if miss0 := counters["blockcache.encode.session.0.misses"]; miss0 == 0 {
+		t.Error("scene 0 (built cold) recorded no encode-tier misses")
+	}
+	if hits1 := counters["blockcache.encode.session.1.hits"]; hits1 == 0 {
+		t.Error("scene 1 (same content) recorded no encode-tier hits — cross-session sharing broken")
+	}
+	if miss1 := counters["blockcache.encode.session.1.misses"]; miss1 != 0 {
+		t.Errorf("scene 1 re-encoded %d blocks that scene 0 already paid for", miss1)
+	}
+
+	c0.Close()
+	c1.Close()
+	h.Shutdown()
+	snap.Check(t)
+}

@@ -1,0 +1,515 @@
+package hub
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/metrics"
+	"volcast/internal/obs"
+	"volcast/internal/vivo"
+	"volcast/internal/wire"
+)
+
+// session is one hosted scene: a store, a visibility pipeline, a frame
+// loop, and the set of subscribers it fans out to.
+type session struct {
+	hub   *Hub
+	scene uint32
+	store *vivo.Store
+	vis   *vivo.Visibility
+	fps   int
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+	// closed stops new registrations once the reaper or shutdown claimed
+	// the session; set only via markClosed.
+	closed bool
+	// emptySince is when the last subscriber left (zero while populated
+	// or never joined... sessions are only built on a join, so it starts
+	// zero and is armed by the first removeSub that empties the set).
+	emptySince time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes when frameLoop exits; the reaper waits on it.
+	done chan struct{}
+
+	// Per-session counters (hub.session.<scene>.*), resolved once at
+	// build time so the frame loop never does registry lookups.
+	cFrames, cCells, cBytes   *metrics.Counter
+	cConnects, cDisconnects   *metrics.Counter
+	cDropsEnqueue, cDropsSlow *metrics.Counter
+}
+
+// outBuf is one pre-serialized wire message headed for a subscriber. The
+// byte slice is shared across subscribers and immutable once enqueued —
+// writers only ever read it. fc >= 0 marks a FrameComplete for that
+// frame, which is where the writer records the Send span.
+type outBuf struct {
+	data []byte
+	fc   int32
+}
+
+// subscriber is one connected player within a session.
+type subscriber struct {
+	conn net.Conn
+	sess *session
+	id   uint32
+	name string
+	// sub is the hub-assigned subscriber id; the tracer's user axis for
+	// this connection's spans (wire.Welcome.SessionID keeps carrying it
+	// for compatibility with PR 1's single-session protocol).
+	sub uint32
+
+	mu   sync.Mutex
+	pose geom.Pose
+	seen bool
+	// pull marks a client that drives its own fetching with
+	// SegmentRequests; the push frame loop skips it.
+	pull bool
+	// degrade is the server-side adaptation level: each level doubles
+	// the delivered stride (halves density). It rises when the client's
+	// outbound queue backs up (slow network/client) and decays when the
+	// queue drains — the transport-level arm of the paper's cross-layer
+	// rate adaptation.
+	degrade int
+	// fcDrops counts consecutive frames whose FrameComplete marker could
+	// not even be enqueued; crossing SlowClientFrames drops the client.
+	fcDrops int
+
+	out   chan outBuf
+	done  chan struct{}
+	drain chan struct{}
+
+	closeOnce sync.Once
+	drainOnce sync.Once
+}
+
+// close severs the connection and releases everything blocked on it: the
+// reader (socket closed), the writer and the frame loop (done closed).
+// Safe to call from any goroutine, any number of times.
+func (c *subscriber) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+// beginDrain asks the writer to flush queued messages and close.
+func (c *subscriber) beginDrain() {
+	c.drainOnce.Do(func() { close(c.drain) })
+}
+
+// addSub registers c, failing when the session was already closed (reaped
+// or shut down) so the caller re-resolves the scene.
+func (s *session) addSub(c *subscriber) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.subs[c] = struct{}{}
+	s.emptySince = time.Time{}
+	return true
+}
+
+// removeSub unregisters c and arms the empty-session reap grace when it
+// was the last subscriber.
+func (s *session) removeSub(c *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[c]; !ok {
+		return
+	}
+	delete(s.subs, c)
+	if len(s.subs) == 0 && !s.closed {
+		s.emptySince = time.Now()
+	}
+}
+
+func (s *session) numSubs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// emptyFor reports whether the session has been empty for at least grace.
+func (s *session) emptyFor(grace time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && len(s.subs) == 0 && !s.emptySince.IsZero() &&
+		time.Since(s.emptySince) >= grace
+}
+
+// markClosed claims the session for teardown. The emptiness re-check
+// under the same lock closes the race where a join lands between the
+// reaper's emptyFor probe and the claim — a populated session is never
+// claimed.
+func (s *session) markClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.subs) > 0 {
+		return false
+	}
+	s.closed = true
+	return true
+}
+
+// snapshotSubs returns the current subscriber set without holding the
+// lock across any channel work.
+func (s *session) snapshotSubs() []*subscriber {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*subscriber, 0, len(s.subs))
+	for c := range s.subs {
+		out = append(out, c)
+	}
+	return out
+}
+
+// drainAll asks every subscriber's writer to flush and close.
+func (s *session) drainAll() {
+	for _, c := range s.snapshotSubs() {
+		c.beginDrain()
+	}
+}
+
+// closeAll force-closes every subscriber.
+func (s *session) closeAll() {
+	for _, c := range s.snapshotSubs() {
+		c.close()
+	}
+}
+
+// frameLoop ticks at the session's content rate and pushes each frame's
+// cells to every subscriber, with multicast marking for shared cells.
+func (s *session) frameLoop() {
+	defer s.hub.wg.Done()
+	defer close(s.done)
+	interval := time.Second / time.Duration(s.fps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	frame := 0
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		s.pushFrame(frame)
+		frame++
+	}
+}
+
+// bufKey identifies one shared serialized cell buffer within a frame:
+// same cell at the same delivered stride ⇒ same bytes for everyone.
+type bufKey struct {
+	id     cell.ID
+	stride int
+}
+
+// pushFrame computes per-subscriber requests for one frame and fans the
+// cell bursts out. Each (cell, stride) is serialized exactly once into an
+// immutable buffer shared by every subscriber that needs it — encode
+// once, serialize once, enqueue N times. The multicast bit is stable per
+// frame (it depends only on the request overlap), so it lives inside the
+// shared buffer too.
+func (s *session) pushFrame(frame int) {
+	subs := s.snapshotSubs()
+	if len(subs) == 0 {
+		return
+	}
+	cfg := &s.hub.cfg
+	fi := frame % s.store.NumFrames()
+	occ := s.store.Frame(fi).Occupied
+
+	cull := cfg.Trace.Begin(frame, obs.PipelineUser, obs.StageCull)
+	reqs := make([]vivo.Request, len(subs))
+	isPull := make([]bool, len(subs))
+	counts := map[cell.ID]int{}
+	for i, c := range subs {
+		c.mu.Lock()
+		pose, seen, pull := c.pose, c.seen, c.pull
+		c.mu.Unlock()
+		if pull {
+			isPull[i] = true
+			continue // client fetches for itself
+		}
+		if !seen || cfg.Vanilla {
+			reqs[i] = vivo.VanillaRequest(occ)
+		} else {
+			reqs[i] = s.vis.Request(occ, pose)
+		}
+		for _, cr := range reqs[i].Cells {
+			counts[cr.ID]++
+		}
+	}
+	cull.End()
+
+	// Frame-local buffer table: the first subscriber that needs a
+	// (cell, stride) pays the serialization; everyone after reuses the
+	// bytes. A nil entry remembers a miss (no block at that stride).
+	bufs := map[bufKey][]byte{}
+	getBuf := func(k bufKey) []byte {
+		if b, ok := bufs[k]; ok {
+			return b
+		}
+		var b []byte
+		if blk := s.store.Block(fi, k.id, k.stride); blk != nil {
+			enc, err := wire.EncodeMessage(&wire.CellData{
+				Frame:     uint32(frame),
+				CellID:    uint32(k.id),
+				Stride:    uint8(k.stride),
+				Multicast: counts[k.id] > 1,
+				Payload:   blk.Data,
+			})
+			if err != nil {
+				cfg.Metrics.Counter("hub.serialize.errors").Inc()
+				cfg.Logf("hub: scene %d cell %d serialize: %v", s.scene, k.id, err)
+			} else {
+				b = enc
+			}
+		}
+		bufs[k] = b
+		return b
+	}
+
+	for i, c := range subs {
+		if isPull[i] {
+			continue
+		}
+		ser := cfg.Trace.Begin(frame, int(c.sub), obs.StageSerialize)
+		degrade := s.adapt(c, len(reqs[i].Cells))
+		var cells, bytes uint64
+		for _, cr := range reqs[i].Cells {
+			b := getBuf(bufKey{id: cr.ID, stride: cr.Stride << degrade})
+			if b == nil {
+				continue
+			}
+			if !s.enqueue(c, outBuf{data: b, fc: -1}) {
+				break
+			}
+			cells++
+			bytes += uint64(len(b))
+		}
+		fcOK := s.enqueueMsg(c, &wire.FrameComplete{
+			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
+		}, int32(frame))
+		ser.End()
+		s.cCells.Add(int64(cells))
+		s.cBytes.Add(int64(bytes))
+		s.noteSlowClient(c, fcOK)
+	}
+	s.cFrames.Inc()
+}
+
+// writeLoop is the connection's single owned writer. It drains the
+// outbound queue of pre-serialized buffers, emits heartbeat pings, and —
+// on drain — flushes what is queued before closing. Exiting for any
+// reason closes the connection.
+func (s *session) writeLoop(c *subscriber) {
+	defer c.close()
+	cfg := &s.hub.cfg
+	var ping <-chan time.Time
+	if cfg.HeartbeatEvery > 0 {
+		t := time.NewTicker(cfg.HeartbeatEvery)
+		defer t.Stop()
+		ping = t.C
+	}
+	var pingSeq uint32
+	var sendStart time.Time
+	var sendDur time.Duration
+	write := func(b outBuf) bool {
+		c.conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		t0 := time.Now()
+		if _, err := c.conn.Write(b.data); err != nil {
+			cfg.Metrics.Counter("transport.writer.deaths").Inc()
+			cfg.Logf("hub: client %d writer died: %v", c.id, err)
+			return false
+		}
+		if sendStart.IsZero() {
+			sendStart = t0
+		}
+		sendDur += time.Since(t0)
+		if b.fc >= 0 {
+			cfg.Trace.Record(int(b.fc), int(c.sub), obs.StageSend, sendStart, sendDur)
+			sendStart, sendDur = time.Time{}, 0
+		}
+		return true
+	}
+	for {
+		select {
+		case b := <-c.out:
+			if !write(b) {
+				return
+			}
+		case <-ping:
+			pingSeq++
+			cfg.Metrics.Counter("transport.pings").Inc()
+			enc, err := wire.EncodeMessage(&wire.Ping{Seq: pingSeq, T: time.Now().UnixNano()})
+			if err != nil {
+				return
+			}
+			if !write(outBuf{data: enc, fc: -1}) {
+				return
+			}
+		case <-c.drain:
+			s.flush(c)
+			return
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// flush empties the queued buffers and signs off with a Bye, bounded by
+// the drain budget via per-write deadlines.
+func (s *session) flush(c *subscriber) {
+	cfg := &s.hub.cfg
+	budget := time.Now().Add(cfg.DrainTimeout)
+	for {
+		if time.Now().After(budget) {
+			return
+		}
+		select {
+		case b := <-c.out:
+			c.conn.SetWriteDeadline(budget)
+			if _, err := c.conn.Write(b.data); err != nil {
+				return
+			}
+		default:
+			c.conn.SetWriteDeadline(budget)
+			if err := wire.WriteMessage(c.conn, &wire.Bye{}); err != nil {
+				// The goodbye is best-effort, but a failed one is worth
+				// counting: it means the peer vanished mid-drain.
+				cfg.Metrics.Counter("transport.drain.bye_failed").Inc()
+			}
+			return
+		}
+	}
+}
+
+// noteSlowClient tracks consecutive frames whose FrameComplete could not
+// even be enqueued. By then the adaptation ladder has already bottomed
+// out, so a peer that still is not draining gets dropped — keeping the
+// connection alive would only grow an unbounded backlog of stale frames.
+func (s *session) noteSlowClient(c *subscriber, fcEnqueued bool) {
+	cfg := &s.hub.cfg
+	if cfg.SlowClientFrames < 0 {
+		return
+	}
+	select {
+	case <-c.done:
+		return // already being torn down; nothing to decide
+	default:
+	}
+	c.mu.Lock()
+	if fcEnqueued {
+		c.fcDrops = 0
+		c.mu.Unlock()
+		return
+	}
+	c.fcDrops++
+	drops := c.fcDrops
+	c.mu.Unlock()
+	if drops >= cfg.SlowClientFrames {
+		cfg.Metrics.Counter("transport.drops.slowclient").Inc()
+		s.cDropsSlow.Inc()
+		cfg.Logf("hub: client %d not draining for %d frames — dropping", c.id, drops)
+		c.close()
+	}
+}
+
+// servePull answers a pull-mode request: the client asked for specific
+// cells (it runs its own visibility pipeline), the server returns exactly
+// those, followed by a FrameComplete marker. Unknown cells are skipped —
+// the FrameComplete's Cells count tells the client what it got.
+func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
+	cfg := &s.hub.cfg
+	defer cfg.Trace.Begin(int(req.Frame), int(c.sub), obs.StageSerialize).End()
+	fi := int(req.Frame) % s.store.NumFrames()
+	var cells, bytes uint64
+	for _, ref := range req.Cells {
+		blk := s.store.Block(fi, cell.ID(ref.CellID), int(ref.Stride))
+		if blk == nil {
+			continue
+		}
+		if !s.enqueueMsg(c, &wire.CellData{
+			Frame:   req.Frame,
+			CellID:  ref.CellID,
+			Stride:  ref.Stride,
+			Payload: blk.Data,
+		}, -1) {
+			break
+		}
+		cells++
+		bytes += uint64(len(blk.Data))
+	}
+	s.enqueueMsg(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes}, int32(req.Frame))
+}
+
+// maxDegrade bounds the server-side density reduction (stride ×8).
+const maxDegrade = 3
+
+// adapt inspects the subscriber's outbound queue and moves its
+// degradation level. The watermarks are measured in frames of backlog
+// (burst = the cell count of the frame about to be pushed): more than
+// four frames queued means the network or client cannot keep up, so
+// density drops; under half a frame queued restores it. Changes are
+// announced with an Adapt message.
+func (s *session) adapt(c *subscriber, burst int) int {
+	if burst < 1 {
+		burst = 1
+	}
+	depth := len(c.out)
+	c.mu.Lock()
+	old := c.degrade
+	switch {
+	case depth > 4*burst && c.degrade < maxDegrade:
+		c.degrade++
+	case depth < burst/2 && c.degrade > 0:
+		c.degrade--
+	}
+	level := c.degrade
+	c.mu.Unlock()
+	if level != old {
+		s.enqueueMsg(c, &wire.Adapt{Quality: uint8(level), Reason: 2}, -1) // quality-down family
+		s.hub.cfg.Logf("hub: client %d adaptation level %d -> %d (queue depth %d, burst %d)",
+			c.id, old, level, depth, burst)
+	}
+	return level
+}
+
+// enqueue delivers a pre-serialized buffer to the subscriber's writer
+// without blocking the frame loop; a persistently full queue (slow
+// client) drops frames, which is the right failure mode for real-time
+// media.
+func (s *session) enqueue(c *subscriber, b outBuf) bool {
+	select {
+	case <-c.done:
+		return false
+	case c.out <- b:
+		return true
+	default:
+		s.hub.cfg.Metrics.Counter("transport.drops.enqueue").Inc()
+		s.cDropsEnqueue.Inc()
+		return false
+	}
+}
+
+// enqueueMsg serializes m (per subscriber — only control messages and
+// pull responses come through here; the fan-out path shares buffers via
+// pushFrame) and enqueues it. fc >= 0 tags the buffer as a FrameComplete
+// for Send-span accounting.
+func (s *session) enqueueMsg(c *subscriber, m wire.Message, fc int32) bool {
+	enc, err := wire.EncodeMessage(m)
+	if err != nil {
+		s.hub.cfg.Metrics.Counter("hub.serialize.errors").Inc()
+		return false
+	}
+	return s.enqueue(c, outBuf{data: enc, fc: fc})
+}

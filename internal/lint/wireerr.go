@@ -12,9 +12,10 @@ var analyzerWireErr = &Analyzer{
 }
 
 // wireErrPackages are the packages the check applies to (the transport
-// owns every socket write in the tree).
+// and the session hub own every socket write in the tree).
 var wireErrPackages = map[string]bool{
 	"volcast/internal/transport": true,
+	"volcast/internal/hub":       true,
 }
 
 func runWireErr(p *Pass) {

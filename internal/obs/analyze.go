@@ -119,6 +119,10 @@ func (t *Tracer) Analyze() []FrameReport {
 // delivered frames, deadline misses, and where the missed budgets went.
 type UserQoE struct {
 	User int `json:"user"`
+	// Label is a human-readable identity for the user row (e.g.
+	// "scene3/client41" under the session hub). Filled by the debug
+	// endpoint's UserLabel hook; empty when no labeling is wired.
+	Label string `json:"label,omitempty"`
 	// Frames is the number of traced frames for this user.
 	Frames int `json:"frames"`
 	// Misses counts frames over budget; MissPct is the ratio.

@@ -16,6 +16,10 @@ type DebugConfig struct {
 	// Tracer backs /trace and /qoe (nil = process default at request
 	// time, so the endpoint works however the tracer is installed).
 	Tracer *Tracer
+	// UserLabel resolves a tracer user id to a human-readable label for
+	// the /qoe table — with a session hub in front, hub.SubscriberLabel
+	// turns bare ids into "scene<N>/<client>" rows (nil = no labels).
+	UserLabel func(user int) string
 }
 
 // NewDebugMux returns the live debug mux served by volserve -debug-addr:
@@ -71,6 +75,11 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 	mux.HandleFunc("/qoe", func(w http.ResponseWriter, r *http.Request) {
 		t := tracer()
 		rows := t.QoE()
+		if cfg.UserLabel != nil {
+			for i := range rows {
+				rows[i].Label = cfg.UserLabel(rows[i].User)
+			}
+		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(rows)
@@ -81,11 +90,11 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 			fmt.Fprintln(w, "tracing disabled")
 			return
 		}
-		fmt.Fprintf(w, "%-6s %8s %8s %8s %10s %8s %10s %s\n",
-			"user", "frames", "misses", "miss%", "avg ms", "est fps", "stall ms", "top stage")
+		fmt.Fprintf(w, "%-6s %-22s %8s %8s %8s %10s %8s %10s %s\n",
+			"user", "label", "frames", "misses", "miss%", "avg ms", "est fps", "stall ms", "top stage")
 		for _, q := range rows {
-			fmt.Fprintf(w, "%-6d %8d %8d %7.1f%% %10.2f %8.1f %10.1f %s\n",
-				q.User, q.Frames, q.Misses, q.MissPct, q.AvgFrameMS, q.EstFPS, q.StallMS, q.TopStage)
+			fmt.Fprintf(w, "%-6d %-22s %8d %8d %7.1f%% %10.2f %8.1f %10.1f %s\n",
+				q.User, q.Label, q.Frames, q.Misses, q.MissPct, q.AvgFrameMS, q.EstFPS, q.StallMS, q.TopStage)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -25,6 +25,10 @@ type ClientConfig struct {
 	ID uint32
 	// Name is a display label.
 	Name string
+	// Scene selects the hub session to join (0 = the default scene, which
+	// is also what servers infer from older clients whose Hello predates
+	// the scene field).
+	Scene uint32
 	// Trace drives the client's 6DoF pose stream; nil plays a static
 	// pose at the origin.
 	Trace *trace.Trace
@@ -54,6 +58,11 @@ type ClientConfig struct {
 	// Dial overrides the connection factory — the injection point for
 	// faultnet wrappers in chaos tests (nil = plain TCP dial).
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// OnFrameLatency, when set, receives each completed frame's burst
+	// latency: first CellData of the frame → its FrameComplete marker, as
+	// observed by the client. The load generator aggregates these into
+	// p50/p95/p99. Called from the receive loop; keep it cheap.
+	OnFrameLatency func(time.Duration)
 }
 
 // ClientStats summarizes a playback session.
@@ -178,7 +187,7 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 	}
 	defer conn.Close()
 
-	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name}); err != nil {
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name, Scene: cfg.Scene}); err != nil {
 		return fmt.Errorf("transport: hello: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -280,6 +289,9 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 	var decStart, lastComplete time.Time
 	var decDur time.Duration
 	inFrame := false
+	// frameStart anchors the burst latency (first cell → FrameComplete)
+	// reported through OnFrameLatency.
+	var frameStart time.Time
 	for {
 		// Idle timeout bounds every read: a silent server (crash, stall,
 		// blackhole) surfaces as a timeout, not an unbounded hang. The
@@ -311,6 +323,9 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 		}
 		switch m := msg.(type) {
 		case *wire.CellData:
+			if !inFrame {
+				frameStart = time.Now()
+			}
 			inFrame = true
 			stats.Cells++
 			stats.Bytes += int64(len(m.Payload))
@@ -331,6 +346,10 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 				}
 			}
 		case *wire.FrameComplete:
+			if cfg.OnFrameLatency != nil && inFrame && !frameStart.IsZero() {
+				cfg.OnFrameLatency(time.Since(frameStart))
+			}
+			frameStart = time.Time{}
 			inFrame = false
 			stats.Frames++
 			if decDur > 0 {

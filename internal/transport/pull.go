@@ -26,6 +26,8 @@ type PullClientConfig struct {
 	Addr string
 	// ID identifies the client.
 	ID uint32
+	// Scene selects the hub session to join (0 = the default scene).
+	Scene uint32
 	// Trace drives the 6DoF pose stream (nil = static origin pose).
 	Trace *trace.Trace
 	// Duration bounds the session.
@@ -72,7 +74,7 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	defer conn.Close()
 
 	if err := wire.WriteMessage(conn, &wire.Hello{
-		ClientID: cfg.ID, Name: "pull", Flags: wire.HelloFlagPull,
+		ClientID: cfg.ID, Name: "pull", Flags: wire.HelloFlagPull, Scene: cfg.Scene,
 	}); err != nil {
 		return stats, fmt.Errorf("transport: hello: %w", err)
 	}

@@ -6,6 +6,15 @@
 // receives and reports QoE statistics. The examples and the volserve /
 // volplay commands are thin wrappers around this package.
 //
+// Since the multi-tenant refactor the server side lives in internal/hub:
+// Server here is a single-scene compatibility facade over a hub in which
+// every scene id maps to the one configured store. Clients joining any
+// scene (including old clients whose Hello predates the scene field, who
+// land on scene 0) see identical content, and the conn-level semantics —
+// single owned writer, heartbeats, degrade-then-drop, bounded drain —
+// are the hub's, which inherited them from this package's PR 4
+// hardening.
+//
 // Fault model: the transport assumes the link misbehaves. Each
 // connection has exactly one owning writer goroutine whose death tears
 // the connection down (no zombie writers), both sides run a Ping/Pong
@@ -17,20 +26,15 @@
 package transport
 
 import (
-	"context"
 	"errors"
-	"fmt"
-	"log"
 	"net"
-	"sync"
 	"time"
 
-	"volcast/internal/cell"
-	"volcast/internal/geom"
+	"volcast/internal/codec"
+	"volcast/internal/hub"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/vivo"
-	"volcast/internal/wire"
 )
 
 // ServerConfig configures a streaming server.
@@ -72,70 +76,10 @@ type ServerConfig struct {
 	SlowClientFrames int
 }
 
-// Server streams content to connected players.
+// Server streams one store to connected players: a single-scene facade
+// over the session hub.
 type Server struct {
-	cfg ServerConfig
-	vis *vivo.Visibility
-
-	mu      sync.Mutex
-	clients map[*clientConn]struct{}
-	// pending holds accepted connections still in the handshake, so
-	// Shutdown can sever them without waiting for handshake deadlines.
-	pending map[net.Conn]struct{}
-	nextID  uint32
-
-	wg       sync.WaitGroup
-	ctx      context.Context
-	cancel   context.CancelFunc
-	listener net.Listener
-}
-
-// clientConn is one connected player.
-type clientConn struct {
-	conn net.Conn
-	id   uint32
-	name string
-	// sess is the server-assigned session id; the tracer's user axis for
-	// this connection's spans.
-	sess uint32
-
-	mu   sync.Mutex
-	pose geom.Pose
-	seen bool
-	// pull marks a client that drives its own fetching with
-	// SegmentRequests; the push frame loop skips it.
-	pull bool
-	// degrade is the server-side adaptation level: each level doubles
-	// the delivered stride (halves density). It rises when the client's
-	// outbound queue backs up (slow network/client) and decays when the
-	// queue drains — the transport-level arm of the paper's cross-layer
-	// rate adaptation.
-	degrade int
-	// fcDrops counts consecutive frames whose FrameComplete marker could
-	// not even be enqueued; crossing SlowClientFrames drops the client.
-	fcDrops int
-
-	out   chan wire.Message
-	done  chan struct{}
-	drain chan struct{}
-
-	closeOnce sync.Once
-	drainOnce sync.Once
-}
-
-// close severs the connection and releases everything blocked on it: the
-// reader (socket closed), the writer and the frame loop (done closed).
-// Safe to call from any goroutine, any number of times.
-func (c *clientConn) close() {
-	c.closeOnce.Do(func() {
-		close(c.done)
-		c.conn.Close()
-	})
-}
-
-// beginDrain asks the writer to flush queued messages and close.
-func (c *clientConn) beginDrain() {
-	c.drainOnce.Do(func() { close(c.drain) })
+	hub *hub.Hub
 }
 
 // NewServer validates the config and returns a server.
@@ -143,572 +87,42 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Store == nil || cfg.Store.NumFrames() == 0 {
 		return nil, errors.New("transport: server needs a non-empty store")
 	}
-	if cfg.FPS <= 0 {
-		cfg.FPS = cfg.Store.FPS()
+	h, err := hub.New(hub.Config{
+		// Every scene serves the one store; the store is already encoded,
+		// so the shared encode tier handle goes unused here.
+		NewStore: func(scene uint32, blocks codec.BlockCache) (*vivo.Store, error) {
+			return cfg.Store, nil
+		},
+		Vanilla:          cfg.Vanilla,
+		FPS:              cfg.FPS,
+		Logf:             cfg.Logf,
+		Trace:            cfg.Trace,
+		Metrics:          cfg.Metrics,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		IdleTimeout:      cfg.IdleTimeout,
+		DrainTimeout:     cfg.DrainTimeout,
+		WriteTimeout:     cfg.WriteTimeout,
+		QueueDepth:       cfg.QueueDepth,
+		SlowClientFrames: cfg.SlowClientFrames,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.FPS <= 0 {
-		cfg.FPS = 30
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
-	}
-	if cfg.Trace == nil {
-		cfg.Trace = obs.Default()
-	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = metrics.Default()
-	}
-	if cfg.HeartbeatEvery == 0 {
-		cfg.HeartbeatEvery = time.Second
-	}
-	if cfg.IdleTimeout == 0 {
-		if cfg.HeartbeatEvery > 0 {
-			cfg.IdleTimeout = 4 * cfg.HeartbeatEvery
-		} else {
-			cfg.IdleTimeout = 4 * time.Second
-		}
-	}
-	if cfg.DrainTimeout == 0 {
-		cfg.DrainTimeout = 2 * time.Second
-	}
-	if cfg.WriteTimeout == 0 {
-		cfg.WriteTimeout = 10 * time.Second
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 4096
-	}
-	if cfg.SlowClientFrames == 0 {
-		cfg.SlowClientFrames = 120
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		cfg:     cfg,
-		vis:     vivo.New(cfg.Store.Grid(), vivo.DefaultParams()),
-		clients: map[*clientConn]struct{}{},
-		pending: map[net.Conn]struct{}{},
-		ctx:     ctx,
-		cancel:  cancel,
-	}, nil
+	return &Server{hub: h}, nil
 }
 
 // NumClients returns the number of registered (post-handshake) clients.
-func (s *Server) NumClients() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.clients)
-}
+func (s *Server) NumClients() int { return s.hub.NumClients() }
 
-// Serve accepts connections on ln until Shutdown. It owns ln. Transient
-// accept failures (EMFILE-class, injected chaos faults) are retried with
-// capped backoff instead of killing the server.
-func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	s.listener = ln
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.frameLoop()
-	var retryDelay time.Duration
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			select {
-			case <-s.ctx.Done():
-				return nil
-			default:
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Temporary() {
-				if retryDelay == 0 {
-					retryDelay = 5 * time.Millisecond
-				} else if retryDelay *= 2; retryDelay > time.Second {
-					retryDelay = time.Second
-				}
-				s.cfg.Metrics.Counter("transport.accept.retries").Inc()
-				s.cfg.Logf("transport: accept: %v (retrying in %v)", err, retryDelay)
-				select {
-				case <-time.After(retryDelay):
-				case <-s.ctx.Done():
-					return nil
-				}
-				continue
-			}
-			return fmt.Errorf("transport: accept: %w", err)
-		}
-		retryDelay = 0
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
-}
+// Serve accepts connections on ln until Shutdown. It owns ln.
+func (s *Server) Serve(ln net.Listener) error { return s.hub.Serve(ln) }
 
 // ListenAndServe listens on addr and serves. The returned address is the
 // bound address (useful with ":0").
 func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("transport: listen: %w", err)
-	}
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
-	return s.Serve(ln)
+	return s.hub.ListenAndServe(addr, ready)
 }
 
 // Shutdown stops accepting, gracefully drains every client and waits for
-// workers. Draining means each connection's writer flushes the frames
-// already queued (ending with a Bye) inside the DrainTimeout budget;
-// stragglers are force-closed when the budget expires. Connections still
-// mid-handshake are severed immediately — there is nothing to drain.
-func (s *Server) Shutdown() {
-	start := time.Now()
-	// Cancel under s.mu: handle() checks s.ctx under the same lock before
-	// registering, so no client can slip into the maps after the snapshot
-	// below (the zombie-registration race).
-	s.mu.Lock()
-	s.cancel()
-	ln := s.listener
-	clients := make([]*clientConn, 0, len(s.clients))
-	for c := range s.clients {
-		clients = append(clients, c)
-	}
-	pending := make([]net.Conn, 0, len(s.pending))
-	for conn := range s.pending {
-		pending = append(pending, conn)
-	}
-	s.mu.Unlock()
-
-	if ln != nil {
-		ln.Close()
-	}
-	for _, conn := range pending {
-		conn.Close()
-	}
-	for _, c := range clients {
-		c.beginDrain()
-	}
-	// Force-close whatever is still connected when the drain budget
-	// expires (covers both slow drains and clients that connected between
-	// the snapshot and the listener close — they were rejected at
-	// registration, but their sockets may still be open).
-	forceTimer := time.AfterFunc(s.cfg.DrainTimeout, func() {
-		s.mu.Lock()
-		for c := range s.clients {
-			c.close()
-		}
-		for conn := range s.pending {
-			conn.Close()
-		}
-		s.mu.Unlock()
-	})
-	s.wg.Wait()
-	forceTimer.Stop()
-	s.cfg.Metrics.Timer("transport.shutdown.drain").Observe(time.Since(start))
-}
-
-// handle runs one client connection.
-func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
-	defer conn.Close()
-
-	// Track the connection through the handshake so Shutdown can sever it
-	// without waiting out the handshake deadline; reject outright when
-	// shutdown already started.
-	s.mu.Lock()
-	if s.ctx.Err() != nil {
-		s.mu.Unlock()
-		s.cfg.Metrics.Counter("transport.rejects.shutdown").Inc()
-		return
-	}
-	s.pending[conn] = struct{}{}
-	s.mu.Unlock()
-	unpend := func() {
-		s.mu.Lock()
-		delete(s.pending, conn)
-		s.mu.Unlock()
-	}
-
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	msg, err := wire.ReadMessage(conn)
-	if err != nil {
-		unpend()
-		s.cfg.Logf("transport: handshake read: %v", err)
-		return
-	}
-	hello, ok := msg.(*wire.Hello)
-	if !ok {
-		unpend()
-		s.cfg.Logf("transport: expected Hello, got %v", msg.Type())
-		return
-	}
-	conn.SetReadDeadline(time.Time{})
-
-	c := &clientConn{
-		conn:  conn,
-		id:    hello.ClientID,
-		name:  hello.Name,
-		pull:  hello.Flags&wire.HelloFlagPull != 0,
-		out:   make(chan wire.Message, s.cfg.QueueDepth),
-		done:  make(chan struct{}),
-		drain: make(chan struct{}),
-	}
-	// Registration and the shutdown check share s.mu with Shutdown's
-	// cancel+snapshot, so a connection is either in the snapshot (and gets
-	// drained) or sees the canceled context here (and is rejected) — never
-	// neither, which is what used to hang wg.Wait.
-	s.mu.Lock()
-	if s.ctx.Err() != nil {
-		delete(s.pending, conn)
-		s.mu.Unlock()
-		s.cfg.Metrics.Counter("transport.rejects.shutdown").Inc()
-		return
-	}
-	delete(s.pending, conn)
-	s.nextID++
-	sessionID := s.nextID
-	c.sess = sessionID
-	s.clients[c] = struct{}{}
-	s.mu.Unlock()
-	s.cfg.Metrics.Counter("transport.connects").Inc()
-	defer func() {
-		s.mu.Lock()
-		delete(s.clients, c)
-		s.mu.Unlock()
-		s.cfg.Metrics.Counter("transport.disconnects").Inc()
-	}()
-
-	nx, ny, nz := s.cfg.Store.Grid().Dims()
-	if err := wire.WriteMessage(conn, &wire.Welcome{
-		SessionID:  sessionID,
-		FPS:        uint16(s.cfg.FPS),
-		NumFrames:  uint32(s.cfg.Store.NumFrames()),
-		CellSize:   s.cfg.Store.Grid().Size(),
-		Qualities:  uint8(len(s.cfg.Store.Strides())),
-		GridOrigin: s.cfg.Store.Grid().Origin(),
-		GridDims:   [3]uint32{uint32(nx), uint32(ny), uint32(nz)},
-	}); err != nil {
-		s.cfg.Logf("transport: welcome: %v", err)
-		return
-	}
-
-	// Single owned writer: every byte after Welcome goes through it, and
-	// its death (write error, drain completion) tears the connection down
-	// via c.close() so the reader, the frame loop, and servePull all stop
-	// feeding a dead peer promptly.
-	writeDone := make(chan struct{})
-	go func() {
-		defer close(writeDone)
-		s.writeLoop(c)
-	}()
-
-	// Reader: pose updates, pull requests, pongs — until Bye, an error,
-	// or the idle timeout expires (heartbeat miss).
-	for {
-		if s.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
-		msg, err := wire.ReadMessage(conn)
-		if err != nil {
-			if isTimeout(err) {
-				s.cfg.Metrics.Counter("transport.heartbeat.misses").Inc()
-				s.cfg.Logf("transport: client %d idle for %v — dropping", c.id, s.cfg.IdleTimeout)
-			}
-			break
-		}
-		switch m := msg.(type) {
-		case *wire.PoseUpdate:
-			c.mu.Lock()
-			c.pose = m.Pose
-			c.seen = true
-			c.mu.Unlock()
-		case *wire.SegmentRequest:
-			c.mu.Lock()
-			c.pull = true
-			c.mu.Unlock()
-			s.servePull(c, m)
-		case *wire.Ping:
-			// Answer through the owned writer; a full queue on a dying
-			// connection just drops the pong.
-			s.enqueue(c, &wire.Pong{Seq: m.Seq, T: m.T})
-		case *wire.Pong:
-			s.cfg.Metrics.Counter("transport.pongs").Inc()
-		case *wire.Bye:
-			goto done
-		default:
-			// Ignore unexpected but valid messages.
-		}
-	}
-done:
-	c.close()
-	<-writeDone
-}
-
-// writeLoop is the connection's single owned writer. It drains the
-// outbound queue, emits heartbeat pings, and — on drain — flushes what is
-// queued before closing. Exiting for any reason closes the connection.
-func (s *Server) writeLoop(c *clientConn) {
-	defer c.close()
-	var ping <-chan time.Time
-	if s.cfg.HeartbeatEvery > 0 {
-		t := time.NewTicker(s.cfg.HeartbeatEvery)
-		defer t.Stop()
-		ping = t.C
-	}
-	var pingSeq uint32
-	var sendStart time.Time
-	var sendDur time.Duration
-	write := func(m wire.Message) bool {
-		c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		t0 := time.Now()
-		if err := wire.WriteMessage(c.conn, m); err != nil {
-			s.cfg.Metrics.Counter("transport.writer.deaths").Inc()
-			s.cfg.Logf("transport: client %d writer died: %v", c.id, err)
-			return false
-		}
-		if sendStart.IsZero() {
-			sendStart = t0
-		}
-		sendDur += time.Since(t0)
-		if fc, ok := m.(*wire.FrameComplete); ok {
-			s.cfg.Trace.Record(int(fc.Frame), int(c.sess), obs.StageSend, sendStart, sendDur)
-			sendStart, sendDur = time.Time{}, 0
-		}
-		return true
-	}
-	for {
-		select {
-		case m := <-c.out:
-			if !write(m) {
-				return
-			}
-		case <-ping:
-			pingSeq++
-			s.cfg.Metrics.Counter("transport.pings").Inc()
-			if !write(&wire.Ping{Seq: pingSeq, T: time.Now().UnixNano()}) {
-				return
-			}
-		case <-c.drain:
-			s.flush(c, write)
-			return
-		case <-c.done:
-			return
-		}
-	}
-}
-
-// flush empties the queued messages and signs off with a Bye, bounded by
-// the drain budget via per-write deadlines.
-func (s *Server) flush(c *clientConn, write func(wire.Message) bool) {
-	budget := time.Now().Add(s.cfg.DrainTimeout)
-	for {
-		if time.Now().After(budget) {
-			return
-		}
-		select {
-		case m := <-c.out:
-			c.conn.SetWriteDeadline(budget)
-			if err := wire.WriteMessage(c.conn, m); err != nil {
-				return
-			}
-		default:
-			c.conn.SetWriteDeadline(budget)
-			if err := wire.WriteMessage(c.conn, &wire.Bye{}); err != nil {
-				// The goodbye is best-effort, but a failed one is worth
-				// counting: it means the peer vanished mid-drain.
-				s.cfg.Metrics.Counter("transport.drain.bye_failed").Inc()
-			}
-			return
-		}
-	}
-}
-
-// frameLoop ticks at the content rate and pushes each frame's cells to
-// every connected client, with multicast marking for shared cells.
-func (s *Server) frameLoop() {
-	defer s.wg.Done()
-	interval := time.Second / time.Duration(s.cfg.FPS)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	frame := 0
-	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case <-ticker.C:
-		}
-		s.pushFrame(frame)
-		frame++
-	}
-}
-
-// pushFrame computes per-client requests for one frame and enqueues the
-// cell bursts.
-func (s *Server) pushFrame(frame int) {
-	s.mu.Lock()
-	clients := make([]*clientConn, 0, len(s.clients))
-	for c := range s.clients {
-		clients = append(clients, c)
-	}
-	s.mu.Unlock()
-	if len(clients) == 0 {
-		return
-	}
-	fi := frame % s.cfg.Store.NumFrames()
-	occ := s.cfg.Store.Frame(fi).Occupied
-
-	cull := s.cfg.Trace.Begin(frame, obs.PipelineUser, obs.StageCull)
-	reqs := make([]vivo.Request, len(clients))
-	isPull := make([]bool, len(clients))
-	counts := map[cell.ID]int{}
-	for i, c := range clients {
-		c.mu.Lock()
-		pose, seen, pull := c.pose, c.seen, c.pull
-		c.mu.Unlock()
-		if pull {
-			isPull[i] = true
-			continue // client fetches for itself
-		}
-		if !seen || s.cfg.Vanilla {
-			reqs[i] = vivo.VanillaRequest(occ)
-		} else {
-			reqs[i] = s.vis.Request(occ, pose)
-		}
-		for _, cr := range reqs[i].Cells {
-			counts[cr.ID]++
-		}
-	}
-	cull.End()
-	for i, c := range clients {
-		if isPull[i] {
-			continue
-		}
-		ser := s.cfg.Trace.Begin(frame, int(c.sess), obs.StageSerialize)
-		degrade := s.adapt(c, len(reqs[i].Cells))
-		var cells, bytes uint64
-		for _, cr := range reqs[i].Cells {
-			stride := cr.Stride << degrade
-			blk := s.cfg.Store.Block(fi, cr.ID, stride)
-			if blk == nil {
-				continue
-			}
-			m := &wire.CellData{
-				Frame:     uint32(frame),
-				CellID:    uint32(cr.ID),
-				Stride:    uint8(stride),
-				Multicast: counts[cr.ID] > 1,
-				Payload:   blk.Data,
-			}
-			if !s.enqueue(c, m) {
-				break
-			}
-			cells++
-			bytes += uint64(len(blk.Data))
-		}
-		fcOK := s.enqueue(c, &wire.FrameComplete{
-			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
-		})
-		ser.End()
-		s.noteSlowClient(c, fcOK)
-	}
-}
-
-// noteSlowClient tracks consecutive frames whose FrameComplete could not
-// even be enqueued. By then the adaptation ladder has already bottomed
-// out, so a peer that still is not draining gets dropped — keeping the
-// session alive would only grow an unbounded backlog of stale frames.
-func (s *Server) noteSlowClient(c *clientConn, fcEnqueued bool) {
-	if s.cfg.SlowClientFrames < 0 {
-		return
-	}
-	select {
-	case <-c.done:
-		return // already being torn down; nothing to decide
-	default:
-	}
-	c.mu.Lock()
-	if fcEnqueued {
-		c.fcDrops = 0
-		c.mu.Unlock()
-		return
-	}
-	c.fcDrops++
-	drops := c.fcDrops
-	c.mu.Unlock()
-	if drops >= s.cfg.SlowClientFrames {
-		s.cfg.Metrics.Counter("transport.drops.slowclient").Inc()
-		s.cfg.Logf("transport: client %d not draining for %d frames — dropping", c.id, drops)
-		c.close()
-	}
-}
-
-// servePull answers a pull-mode request: the client asked for specific
-// cells (it runs its own visibility pipeline), the server returns exactly
-// those, followed by a FrameComplete marker. Unknown cells are skipped —
-// the FrameComplete's Cells count tells the client what it got.
-func (s *Server) servePull(c *clientConn, req *wire.SegmentRequest) {
-	defer s.cfg.Trace.Begin(int(req.Frame), int(c.sess), obs.StageSerialize).End()
-	fi := int(req.Frame) % s.cfg.Store.NumFrames()
-	var cells, bytes uint64
-	for _, ref := range req.Cells {
-		blk := s.cfg.Store.Block(fi, cell.ID(ref.CellID), int(ref.Stride))
-		if blk == nil {
-			continue
-		}
-		if !s.enqueue(c, &wire.CellData{
-			Frame:   req.Frame,
-			CellID:  ref.CellID,
-			Stride:  ref.Stride,
-			Payload: blk.Data,
-		}) {
-			break
-		}
-		cells++
-		bytes += uint64(len(blk.Data))
-	}
-	s.enqueue(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes})
-}
-
-// maxDegrade bounds the server-side density reduction (stride ×8).
-const maxDegrade = 3
-
-// adapt inspects the client's outbound queue and moves its degradation
-// level. The watermarks are measured in frames of backlog (burst = the
-// cell count of the frame about to be pushed): more than four frames
-// queued means the network or client cannot keep up, so density drops;
-// under half a frame queued restores it. Changes are announced with an
-// Adapt message.
-func (s *Server) adapt(c *clientConn, burst int) int {
-	if burst < 1 {
-		burst = 1
-	}
-	depth := len(c.out)
-	c.mu.Lock()
-	old := c.degrade
-	switch {
-	case depth > 4*burst && c.degrade < maxDegrade:
-		c.degrade++
-	case depth < burst/2 && c.degrade > 0:
-		c.degrade--
-	}
-	level := c.degrade
-	c.mu.Unlock()
-	if level != old {
-		s.enqueue(c, &wire.Adapt{Quality: uint8(level), Reason: 2}) // quality-down family
-		s.cfg.Logf("transport: client %d adaptation level %d -> %d (queue depth %d, burst %d)",
-			c.id, old, level, depth, burst)
-	}
-	return level
-}
-
-// enqueue delivers a message to the client's writer without blocking the
-// frame loop; a persistently full queue (slow client) drops frames, which
-// is the right failure mode for real-time media.
-func (s *Server) enqueue(c *clientConn, m wire.Message) bool {
-	select {
-	case <-c.done:
-		return false
-	case c.out <- m:
-		return true
-	default:
-		s.cfg.Metrics.Counter("transport.drops.enqueue").Inc()
-		return false
-	}
-}
+// workers.
+func (s *Server) Shutdown() { s.hub.Shutdown() }

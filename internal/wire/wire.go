@@ -105,6 +105,11 @@ type Hello struct {
 	Flags uint8
 	// Name is a display label (bounded at 255 bytes).
 	Name string
+	// Scene is the session the client wants to join. The field trails the
+	// name so a Hello from an older client parses as scene 0 (the default
+	// single-scene session) — multi-tenant routing stays backward
+	// compatible on the wire.
+	Scene uint32
 }
 
 // Type implements Message.
@@ -118,7 +123,8 @@ func (m *Hello) appendBody(b []byte) []byte {
 		name = name[:255]
 	}
 	b = append(b, byte(len(name)))
-	return append(b, name...)
+	b = append(b, name...)
+	return binary.LittleEndian.AppendUint32(b, m.Scene)
 }
 
 func (m *Hello) parseBody(b []byte) error {
@@ -132,6 +138,10 @@ func (m *Hello) parseBody(b []byte) error {
 		return ErrBadString
 	}
 	m.Name = string(b[6 : 6+n])
+	m.Scene = 0
+	if rest := b[6+n:]; len(rest) >= 4 {
+		m.Scene = binary.LittleEndian.Uint32(rest)
+	}
 	return nil
 }
 
@@ -478,17 +488,29 @@ func newMessage(t MsgType) (Message, error) {
 	}
 }
 
+// EncodeMessage frames one message into a standalone buffer — exactly the
+// bytes WriteMessage would put on the wire. The hub's fan-out path uses it
+// to serialize a frame's cells once and enqueue the same immutable buffer
+// to every subscriber.
+func EncodeMessage(m Message) ([]byte, error) {
+	buf := make([]byte, 5, 5+64)
+	buf = m.appendBody(buf)
+	body := len(buf) - 5
+	if body+1 > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(body+1))
+	buf[4] = byte(m.Type())
+	return buf, nil
+}
+
 // WriteMessage frames and writes one message.
 func WriteMessage(w io.Writer, m Message) error {
-	body := m.appendBody(make([]byte, 0, 64))
-	if len(body)+1 > MaxMessageSize {
-		return ErrTooLarge
+	buf, err := EncodeMessage(m)
+	if err != nil {
+		return err
 	}
-	hdr := make([]byte, 0, 5+len(body))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(body)+1))
-	hdr = append(hdr, byte(m.Type()))
-	hdr = append(hdr, body...)
-	_, err := w.Write(hdr)
+	_, err = w.Write(buf)
 	return err
 }
 

@@ -43,6 +43,59 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloSceneRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Hello{ClientID: 3, Name: "p", Scene: 17}).(*Hello)
+	if got.Scene != 17 {
+		t.Errorf("scene %d, want 17", got.Scene)
+	}
+}
+
+func TestHelloLegacyWithoutSceneParsesSceneZero(t *testing.T) {
+	// A pre-scene Hello body: ClientID, Flags, name length, name — no
+	// trailing scene field. It must parse as scene 0, not an error.
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, 42)
+	body = append(body, 0) // flags
+	body = append(body, 3) // name length
+	body = append(body, "old"...)
+	var m Hello
+	if err := m.parseBody(body); err != nil {
+		t.Fatalf("legacy Hello rejected: %v", err)
+	}
+	if m.ClientID != 42 || m.Name != "old" || m.Scene != 0 {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestEncodeMessageMatchesWriteMessage(t *testing.T) {
+	msgs := []Message{
+		&Hello{ClientID: 9, Name: "enc", Scene: 2},
+		&CellData{Frame: 4, CellID: 7, Stride: 2, Multicast: true, Payload: []byte{1, 2, 3}},
+		&FrameComplete{Frame: 4, Cells: 1, Bytes: 3},
+		&Ping{Seq: 1, T: 123},
+	}
+	for _, m := range msgs {
+		enc, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, buf.Bytes()) {
+			t.Errorf("%v: EncodeMessage differs from WriteMessage bytes", m.Type())
+		}
+		got, err := ReadMessage(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%v: encoded bytes unreadable: %v", m.Type(), err)
+		}
+		if got.Type() != m.Type() {
+			t.Errorf("type %v != %v", got.Type(), m.Type())
+		}
+	}
+}
+
 func TestWelcomeRoundTrip(t *testing.T) {
 	w := &Welcome{SessionID: 7, FPS: 30, NumFrames: 300, CellSize: 0.5, Qualities: 3}
 	got := roundTrip(t, w).(*Welcome)
