@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke verify
+.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke verify
 
 build:
 	$(GO) build ./...
@@ -21,17 +21,19 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# lint type-checks the module and runs the vollint suite — the six
+# lint type-checks the module and runs the vollint suite — the seven
 # project-specific invariants of DESIGN.md §9 (determinism, lockedsend,
-# goroutinehygiene, tickleak, nilsafeobs, wireerr). Exit 1 on findings.
+# goroutinehygiene, tickleak, nilsafeobs, wireerr, bufrelease). Exit 1
+# on findings.
 lint:
 	$(GO) run ./cmd/vollint ./...
 
 # bench snapshots the benchmark suite as $(BENCH_OUT) for cross-commit
 # diffing; benchjson echoes the run and fails when nothing parsed (so the
-# pipe cannot hide a broken bench run).
+# pipe cannot hide a broken bench run). The hub and wire packages carry
+# the frame-path benchmarks (pooled framing, steady-state writer).
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/hub ./internal/wire | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # trace-smoke runs a tiny traced session and lints the Perfetto dump:
 # it must parse, cover >= 6 pipeline stages per frame, and attribute
@@ -53,6 +55,17 @@ chaos-smoke:
 loadtest-smoke:
 	$(GO) run ./cmd/volload -sessions 4 -clients 64 -duration 8s \
 		-frames 20 -points 2000 -load-seed 42 -min-frames 1000
+
+# latency-smoke is the CI latency gate: the pinned seeded scenario (2
+# sessions × 16 clients, seed 42) must hold its frame-latency envelope —
+# p50 <= 5ms, p95 <= 15ms, p99 <= 33ms (the paper's one-frame-at-30fps
+# budget) — and the measured percentiles are merged into $(BENCH_OUT)
+# under "latency" so the numbers land in the bench trajectory either way.
+latency-smoke:
+	$(GO) run ./cmd/volload -sessions 2 -clients 16 -duration 6s \
+		-frames 20 -points 2000 -load-seed 42 -min-frames 500 \
+		-max-p50 5 -max-p95 15 -max-p99 33 \
+		-merge $(BENCH_OUT) -merge-key latency
 
 # verify is the CI gate: static checks (vet, gofmt, vollint), a full
 # build, and the test suite under the race detector (the parallel

@@ -80,8 +80,48 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, seen
 }
 
+// mergeInto unions rep into an existing report document, keeping any
+// top-level keys it does not understand (e.g. the "loadtest" latency
+// section volload merges in) and replacing benchmarks by name — so one
+// BENCH_<date>.json can accumulate benchmark runs and load-test
+// percentiles from separate invocations without either clobbering the
+// other.
+func mergeInto(existing []byte, rep Report) ([]byte, error) {
+	doc := map[string]any{}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &doc); err != nil {
+			return nil, fmt.Errorf("existing report: %w", err)
+		}
+	}
+	merged := []any{}
+	replaced := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		replaced[b.Name] = true
+	}
+	if prior, ok := doc["benchmarks"].([]any); ok {
+		for _, e := range prior {
+			if m, ok := e.(map[string]any); ok {
+				if name, _ := m["name"].(string); replaced[name] {
+					continue // superseded by this run
+				}
+			}
+			merged = append(merged, e)
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		merged = append(merged, b)
+	}
+	doc["benchmarks"] = merged
+	doc["date"] = rep.Date
+	doc["go_version"] = rep.GoVersion
+	doc["goos"] = rep.GOOS
+	doc["goarch"] = rep.GOARCH
+	return json.MarshalIndent(doc, "", "  ")
+}
+
 func main() {
 	out := flag.String("out", "", "write the JSON report to this path (default stdout)")
+	merge := flag.Bool("merge", false, "merge into an existing -out report instead of replacing it (unions benchmarks by name, keeps unknown top-level keys)")
 	flag.Parse()
 
 	rep := Report{
@@ -110,7 +150,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	var data []byte
+	var err error
+	if *merge && *out != "" {
+		existing, rerr := os.ReadFile(*out)
+		if rerr != nil && !os.IsNotExist(rerr) {
+			fmt.Fprintln(os.Stderr, "benchjson:", rerr)
+			os.Exit(1)
+		}
+		data, err = mergeInto(existing, rep)
+	} else {
+		data, err = json.MarshalIndent(rep, "", "  ")
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

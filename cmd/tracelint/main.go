@@ -34,11 +34,21 @@ type missReport struct {
 	Slowest string  `json:"slowest"`
 }
 
+// budgetReport is one budgetViolations entry: a (frame, user) with at
+// least one stage over its per-stage budget.
+type budgetReport struct {
+	Frame      int                `json:"frame"`
+	User       int                `json:"user"`
+	OverBudget map[string]float64 `json:"over_budget"`
+}
+
 // traceFile is the dump's object form.
 type traceFile struct {
-	TraceEvents    []traceEvent `json:"traceEvents"`
-	DeadlineMS     float64      `json:"deadlineMs"`
-	DeadlineMisses []missReport `json:"deadlineMisses"`
+	TraceEvents      []traceEvent       `json:"traceEvents"`
+	DeadlineMS       float64            `json:"deadlineMs"`
+	DeadlineMisses   []missReport       `json:"deadlineMisses"`
+	StageBudgetsMS   map[string]float64 `json:"stageBudgetsMs"`
+	BudgetViolations []budgetReport     `json:"budgetViolations"`
 }
 
 func fail(format string, args ...any) {
@@ -48,6 +58,7 @@ func fail(format string, args ...any) {
 
 func main() {
 	minStages := flag.Int("min-stages", 6, "minimum distinct stages per fully-captured user frame (0 disables)")
+	maxBudget := flag.Int("max-budget-violations", -1, "fail when more (frame,user) pairs exceed a per-stage budget (-1 = report only)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fail("usage: tracelint [-min-stages N] trace.json")
@@ -139,8 +150,28 @@ func main() {
 		}
 	}
 
-	fmt.Printf("tracelint: %s ok — %d spans, %d user frames (%d checked, min %d stages), %d deadline misses attributed\n",
-		path, spans, len(userFrame), checked, worst, len(tf.DeadlineMisses))
+	// Per-stage budget verdicts: every violation must name its stages and
+	// overruns, and -max-budget-violations turns the count into a gate.
+	for _, v := range tf.BudgetViolations {
+		if len(v.OverBudget) == 0 {
+			fail("%s: budget violation (frame %d, user %d) names no over-budget stage", path, v.Frame, v.User)
+		}
+	}
+	if n := len(tf.BudgetViolations); *maxBudget >= 0 && n > *maxBudget {
+		worst := ""
+		var worstMS float64
+		for _, v := range tf.BudgetViolations {
+			for st, over := range v.OverBudget {
+				if over > worstMS {
+					worst, worstMS = fmt.Sprintf("frame %d user %d stage %s (+%.2fms)", v.Frame, v.User, st, over), over
+				}
+			}
+		}
+		fail("%s: %d budget violations, want <= %d; worst: %s", path, n, *maxBudget, worst)
+	}
+
+	fmt.Printf("tracelint: %s ok — %d spans, %d user frames (%d checked, min %d stages), %d deadline misses attributed, %d budget violations\n",
+		path, spans, len(userFrame), checked, worst, len(tf.DeadlineMisses), len(tf.BudgetViolations))
 }
 
 func keys(m map[string]bool) []string {

@@ -121,8 +121,12 @@ func main() {
 	faultStallEvery := flag.Int("fault-stall-every", 0, "stall every Nth read (0 = never)")
 	faultStallDur := flag.Duration("fault-stall", 20*time.Millisecond, "injected read-stall duration")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
-	merge := flag.String("merge", "", "merge the report into this benchjson BENCH_*.json under the \"loadtest\" key")
+	merge := flag.String("merge", "", "merge the report into this benchjson BENCH_*.json (created if absent) under -merge-key")
+	mergeKey := flag.String("merge-key", "loadtest", "top-level key the report is merged under in the -merge file")
 	minFrames := flag.Int64("min-frames", 1, "exit nonzero unless at least this many frames completed in total")
+	maxP50 := flag.Float64("max-p50", 0, "exit nonzero when p50 frame latency exceeds this many ms (0 = no gate)")
+	maxP95 := flag.Float64("max-p95", 0, "exit nonzero when p95 frame latency exceeds this many ms (0 = no gate)")
+	maxP99 := flag.Float64("max-p99", 0, "exit nonzero when p99 frame latency exceeds this many ms (0 = no gate)")
 	flag.Parse()
 	if *sessions < 1 || *clients < 1 {
 		log.Fatal("volload: need -sessions >= 1 and -clients >= 1")
@@ -369,10 +373,10 @@ func main() {
 		os.Stdout.Write(data)
 	}
 	if *merge != "" {
-		if err := mergeIntoBench(*merge, rep); err != nil {
+		if err := mergeIntoBench(*merge, *mergeKey, rep); err != nil {
 			log.Fatalf("volload: merge: %v", err)
 		}
-		log.Printf("volload: merged under \"loadtest\" in %s", *merge)
+		log.Printf("volload: merged under %q in %s", *mergeKey, *merge)
 	}
 
 	log.Printf("volload: %d frames, p50/p95/p99 %.1f/%.1f/%.1f ms, %d joins, %d reconnects, goroutines %d→%d",
@@ -383,6 +387,21 @@ func main() {
 	}
 	if rep.Frames < *minFrames {
 		log.Fatalf("volload: FAILED: %d frames < -min-frames %d", rep.Frames, *minFrames)
+	}
+	// Latency gates run last, after the report has been written/merged, so
+	// a red gate still leaves the measured numbers on disk for triage.
+	for _, g := range []struct {
+		name  string
+		limit float64
+		got   float64
+	}{
+		{"p50", *maxP50, rep.Latency.P50},
+		{"p95", *maxP95, rep.Latency.P95},
+		{"p99", *maxP99, rep.Latency.P99},
+	} {
+		if g.limit > 0 && g.got > g.limit {
+			log.Fatalf("volload: FAILED: %s frame latency %.1fms > -max-%s %.1fms", g.name, g.got, g.name, g.limit)
+		}
 	}
 }
 
@@ -426,18 +445,22 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[idx]
 }
 
-// mergeIntoBench adds the load report to an existing benchjson document
-// under the "loadtest" key, preserving every other field as-is.
-func mergeIntoBench(path string, rep report) error {
+// mergeIntoBench adds the load report to a benchjson document under the
+// given top-level key, preserving every other field as-is. A missing
+// file is created, so latency gates can run before the bench target has
+// snapshotted anything.
+func mergeIntoBench(path, key string, rep report) error {
+	doc := map[string]any{}
 	raw, err := os.ReadFile(path)
-	if err != nil {
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	case !os.IsNotExist(err):
 		return err
 	}
-	var doc map[string]any
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	doc["loadtest"] = rep
+	doc[key] = rep
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -493,6 +493,8 @@ func (h *Hub) buildSession(scene uint32) (*session, error) {
 	s.cDisconnects = h.cfg.Metrics.Counter(prefix + "disconnects")
 	s.cDropsEnqueue = h.cfg.Metrics.Counter(prefix + "drops.enqueue")
 	s.cDropsSlow = h.cfg.Metrics.Counter(prefix + "drops.slowclient")
+	s.cPullHits = h.cfg.Metrics.Counter(prefix + "pull.hits")
+	s.cPullMisses = h.cfg.Metrics.Counter(prefix + "pull.misses")
 	return s, nil
 }
 

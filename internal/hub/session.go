@@ -10,6 +10,7 @@ import (
 	"volcast/internal/geom"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
+	"volcast/internal/par"
 	"volcast/internal/vivo"
 	"volcast/internal/wire"
 )
@@ -38,20 +39,28 @@ type session struct {
 	// done closes when frameLoop exits; the reaper waits on it.
 	done chan struct{}
 
+	// cache holds the latest frame's serialized cell buffers so pull
+	// requests for the frame being pushed reuse them instead of
+	// re-encoding.
+	cache frameCache
+
 	// Per-session counters (hub.session.<scene>.*), resolved once at
 	// build time so the frame loop never does registry lookups.
 	cFrames, cCells, cBytes   *metrics.Counter
 	cConnects, cDisconnects   *metrics.Counter
 	cDropsEnqueue, cDropsSlow *metrics.Counter
+	cPullHits, cPullMisses    *metrics.Counter
 }
 
 // outBuf is one pre-serialized wire message headed for a subscriber. The
-// byte slice is shared across subscribers and immutable once enqueued —
-// writers only ever read it. fc >= 0 marks a FrameComplete for that
-// frame, which is where the writer records the Send span.
+// pooled buffer is shared across subscribers and immutable once enqueued
+// — writers only ever read it — and the enqueue transfers exactly one
+// reference to the writer, which releases it after the socket write.
+// fc >= 0 marks a FrameComplete for that frame, which is where the
+// writer records the Send span.
 type outBuf struct {
-	data []byte
-	fc   int32
+	buf *wire.Buffer
+	fc  int32
 }
 
 // subscriber is one connected player within a session.
@@ -102,6 +111,113 @@ func (c *subscriber) close() {
 // beginDrain asks the writer to flush queued messages and close.
 func (c *subscriber) beginDrain() {
 	c.drainOnce.Do(func() { close(c.drain) })
+}
+
+// releaseQueued drops the references of whatever the writer will never
+// send. Called once on writer exit, after close() severed the connection;
+// a buffer racing into the queue after the final drain is merely not
+// pooled — the GC still reclaims it.
+func (c *subscriber) releaseQueued() {
+	for {
+		select {
+		case b := <-c.out:
+			b.buf.Release()
+		default:
+			return
+		}
+	}
+}
+
+// frameCache shares the current frame's serialized cell buffers between
+// the push fan-out and servePull: the push path installs its table after
+// each frame, pull requests for that frame reuse the bytes, and
+// pull-built buffers join the table so concurrent pull clients share
+// them too. The cache holds one reference per buffer; rotating to a
+// newer frame (or closing) releases the old table.
+type frameCache struct {
+	mu    sync.Mutex
+	frame uint32
+	valid bool
+	dead  bool
+	bufs  map[bufKey]*wire.Buffer
+}
+
+// install replaces the table with a pushed frame's buffers, taking
+// ownership of one reference per non-nil slot.
+func (fc *frameCache) install(frame uint32, keys []bufKey, slots []*wire.Buffer) {
+	m := make(map[bufKey]*wire.Buffer, len(keys))
+	for j, k := range keys {
+		if slots[j] != nil {
+			m[k] = slots[j]
+		}
+	}
+	fc.mu.Lock()
+	if fc.dead {
+		fc.mu.Unlock()
+		for _, b := range m {
+			b.Release()
+		}
+		return
+	}
+	old := fc.bufs
+	fc.frame, fc.valid, fc.bufs = frame, true, m
+	fc.mu.Unlock()
+	for _, b := range old {
+		b.Release()
+	}
+}
+
+// lookup returns the cached buffer for (frame, key) with a reference
+// retained for the caller, or nil on a miss.
+func (fc *frameCache) lookup(frame uint32, k bufKey) *wire.Buffer {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if !fc.valid || fc.frame != frame {
+		return nil
+	}
+	b := fc.bufs[k]
+	if b != nil {
+		b.Retain(1)
+	}
+	return b
+}
+
+// add contributes a pull-built buffer (retaining its own reference),
+// rotating the table forward when the request outran the cached frame —
+// that is what keeps pull-only sessions, where no push installs tables,
+// sharing work across clients.
+func (fc *frameCache) add(frame uint32, k bufKey, b *wire.Buffer) {
+	var old map[bufKey]*wire.Buffer
+	fc.mu.Lock()
+	if fc.dead {
+		fc.mu.Unlock()
+		return
+	}
+	if !fc.valid || frame > fc.frame {
+		old = fc.bufs
+		fc.frame, fc.valid, fc.bufs = frame, true, map[bufKey]*wire.Buffer{}
+	}
+	if fc.frame == frame {
+		if _, ok := fc.bufs[k]; !ok {
+			b.Retain(1)
+			fc.bufs[k] = b
+		}
+	}
+	fc.mu.Unlock()
+	for _, o := range old {
+		o.Release()
+	}
+}
+
+// close releases the table and refuses further installs.
+func (fc *frameCache) close() {
+	fc.mu.Lock()
+	old := fc.bufs
+	fc.bufs, fc.valid, fc.dead = nil, false, true
+	fc.mu.Unlock()
+	for _, b := range old {
+		b.Release()
+	}
 }
 
 // addSub registers c, failing when the session was already closed (reaped
@@ -190,6 +306,7 @@ func (s *session) closeAll() {
 func (s *session) frameLoop() {
 	defer s.hub.wg.Done()
 	defer close(s.done)
+	defer s.cache.close()
 	interval := time.Second / time.Duration(s.fps)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -213,11 +330,17 @@ type bufKey struct {
 }
 
 // pushFrame computes per-subscriber requests for one frame and fans the
-// cell bursts out. Each (cell, stride) is serialized exactly once into an
-// immutable buffer shared by every subscriber that needs it — encode
-// once, serialize once, enqueue N times. The multicast bit is stable per
-// frame (it depends only on the request overlap), so it lives inside the
-// shared buffer too.
+// cell bursts out as a bounded producer pipeline. Each (cell, stride) is
+// serialized exactly once into an immutable pooled buffer shared by every
+// subscriber that needs it — encode once, serialize once, enqueue N
+// times — and, unlike the old barriered path, each buffer is enqueued the
+// moment its serialization completes: a par worker pool fills the slot
+// table while the dispatcher advances per-subscriber cursors over it, so
+// the first cell's socket write overlaps the last cell's encode. Cursors
+// preserve each subscriber's visibility-ranked cell order, FrameComplete
+// stays last, and an unenqueueable subscriber degrades then drops frames
+// exactly as before. The multicast bit is stable per frame (it depends
+// only on the request overlap), so it lives inside the shared buffer too.
 func (s *session) pushFrame(frame int) {
 	subs := s.snapshotSubs()
 	if len(subs) == 0 {
@@ -250,68 +373,175 @@ func (s *session) pushFrame(frame int) {
 	}
 	cull.End()
 
-	// Frame-local buffer table: the first subscriber that needs a
-	// (cell, stride) pays the serialization; everyone after reuses the
-	// bytes. A nil entry remembers a miss (no block at that stride).
-	bufs := map[bufKey][]byte{}
-	getBuf := func(k bufKey) []byte {
-		if b, ok := bufs[k]; ok {
-			return b
-		}
-		var b []byte
-		if blk := s.store.Block(fi, k.id, k.stride); blk != nil {
-			enc, err := wire.EncodeMessage(&wire.CellData{
-				Frame:     uint32(frame),
-				CellID:    uint32(k.id),
-				Stride:    uint8(k.stride),
-				Multicast: counts[k.id] > 1,
-				Payload:   blk.Data,
-			})
-			if err != nil {
-				cfg.Metrics.Counter("hub.serialize.errors").Inc()
-				cfg.Logf("hub: scene %d cell %d serialize: %v", s.scene, k.id, err)
-			} else {
-				b = enc
-			}
-		}
-		bufs[k] = b
-		return b
-	}
-
+	// Plan the fan-out: dedupe (cell, stride) pairs into a slot index and
+	// give every push subscriber an ordered cursor walk over it.
+	// Degradation is decided up front (it reads the live queue depth), so
+	// the plans are immutable for the rest of the frame.
+	serStart := time.Now()
+	keyIdx := map[bufKey]int{}
+	var keys []bufKey
+	plans := make([][]int, len(subs))
 	for i, c := range subs {
 		if isPull[i] {
 			continue
 		}
-		ser := cfg.Trace.Begin(frame, int(c.sub), obs.StageSerialize)
 		degrade := s.adapt(c, len(reqs[i].Cells))
-		var cells, bytes uint64
+		plan := make([]int, 0, len(reqs[i].Cells))
 		for _, cr := range reqs[i].Cells {
-			b := getBuf(bufKey{id: cr.ID, stride: cr.Stride << degrade})
-			if b == nil {
+			k := bufKey{id: cr.ID, stride: cr.Stride << degrade}
+			idx, ok := keyIdx[k]
+			if !ok {
+				idx = len(keys)
+				keyIdx[k] = idx
+				keys = append(keys, k)
+			}
+			plan = append(plan, idx)
+		}
+		plans[i] = plan
+	}
+
+	// Serialize every slot once, in parallel. Workers publish completed
+	// slot indices through the buffered ready channel — the send gives the
+	// dispatcher its happens-before on the slot write. A nil slot is a
+	// miss (no block at that stride, or a serialize error).
+	slots := make([]*wire.Buffer, len(keys))
+	ready := make(chan int, len(keys))
+	go func() {
+		par.ForEach(s.ctx, len(keys), func(j int) error {
+			k := keys[j]
+			if blk := s.store.Block(fi, k.id, k.stride); blk != nil {
+				b, err := wire.NewBuffer(&wire.CellData{
+					Frame:     uint32(frame),
+					CellID:    uint32(k.id),
+					Stride:    uint8(k.stride),
+					Multicast: counts[k.id] > 1,
+					Payload:   blk.Data,
+				})
+				if err != nil {
+					cfg.Metrics.Counter("hub.serialize.errors").Inc()
+					cfg.Logf("hub: scene %d cell %d serialize: %v", s.scene, k.id, err)
+				} else {
+					slots[j] = b
+				}
+			}
+			ready <- j
+			return nil
+		})
+		close(ready)
+	}()
+
+	// Dispatch: as slots become ready, advance each subscriber's cursor
+	// past every ready-in-order cell, enqueueing the shared buffer (one
+	// reference per subscriber). A failed enqueue marks the subscriber
+	// dead for the rest of the frame — its cursor keeps advancing so the
+	// bookkeeping finishes, but nothing more is queued.
+	isReady := make([]bool, len(keys))
+	cursor := make([]int, len(subs))
+	dead := make([]bool, len(subs))
+	cells := make([]uint64, len(subs))
+	bytes := make([]uint64, len(subs))
+	advance := func(i int) {
+		c := subs[i]
+		plan := plans[i]
+		for cursor[i] < len(plan) {
+			j := plan[cursor[i]]
+			if !isReady[j] {
+				return
+			}
+			cursor[i]++
+			b := slots[j]
+			if b == nil || dead[i] {
 				continue
 			}
-			if !s.enqueue(c, outBuf{data: b, fc: -1}) {
-				break
+			n := b.Len()
+			b.Retain(1)
+			if !s.enqueue(c, outBuf{buf: b, fc: -1}) {
+				dead[i] = true
+				continue
 			}
-			cells++
-			bytes += uint64(len(b))
+			cells[i]++
+			bytes[i] += uint64(n)
 		}
-		fcOK := s.enqueueMsg(c, &wire.FrameComplete{
-			Frame: uint32(frame), Cells: uint32(cells), Bytes: bytes,
-		}, int32(frame))
-		ser.End()
-		s.cCells.Add(int64(cells))
-		s.cBytes.Add(int64(bytes))
+	}
+	for j := range ready {
+		isReady[j] = true
+		for i := range subs {
+			if !isPull[i] {
+				advance(i)
+			}
+		}
+	}
+	// ready closed: every slot either completed or was abandoned on
+	// shutdown. Force the cursors through whatever remains (abandoned
+	// slots read as misses).
+	for j := range isReady {
+		isReady[j] = true
+	}
+	for i := range subs {
+		if !isPull[i] {
+			advance(i)
+		}
+	}
+
+	// FrameComplete, last, per subscriber — but the payload only depends
+	// on (frame, cells, bytes), so identical verdicts share one buffer
+	// instead of being re-serialized N times.
+	type fcKey struct{ cells, bytes uint64 }
+	fcBufs := map[fcKey]*wire.Buffer{}
+	for i, c := range subs {
+		if isPull[i] {
+			continue
+		}
+		k := fcKey{cells[i], bytes[i]}
+		fb, cached := fcBufs[k]
+		if !cached {
+			var err error
+			fb, err = wire.NewBuffer(&wire.FrameComplete{
+				Frame: uint32(frame), Cells: uint32(cells[i]), Bytes: bytes[i],
+			})
+			if err != nil {
+				cfg.Metrics.Counter("hub.serialize.errors").Inc()
+				fb = nil
+			}
+			fcBufs[k] = fb
+		}
+		fcOK := false
+		if fb != nil {
+			fb.Retain(1)
+			fcOK = s.enqueue(c, outBuf{buf: fb, fc: int32(frame)})
+		}
+		cfg.Trace.Record(frame, int(c.sub), obs.StageSerialize, serStart, time.Since(serStart))
+		s.cCells.Add(int64(cells[i]))
+		s.cBytes.Add(int64(bytes[i]))
 		s.noteSlowClient(c, fcOK)
+	}
+	for _, fb := range fcBufs {
+		if fb != nil {
+			fb.Release()
+		}
+	}
+
+	// Hand the slot table (and its references) to the frame cache so pull
+	// requests for this frame reuse the serialized bytes.
+	if len(keys) > 0 {
+		s.cache.install(uint32(frame), keys, slots)
 	}
 	s.cFrames.Inc()
 }
 
+// maxWriteBatch bounds one vectored write: enough to coalesce a frame's
+// burst into a single writev, small enough that the scratch arrays stay
+// resident in cache and a slow peer's deadline still bites per batch.
+const maxWriteBatch = 64
+
 // writeLoop is the connection's single owned writer. It drains the
-// outbound queue of pre-serialized buffers, emits heartbeat pings, and —
-// on drain — flushes what is queued before closing. Exiting for any
-// reason closes the connection.
+// outbound queue of pre-serialized pooled buffers, coalescing everything
+// queued at a wakeup into a single vectored write (net.Buffers → writev
+// on a TCP conn) instead of one syscall per message, emits heartbeat
+// pings, and — on drain — flushes what is queued before closing. Exiting
+// for any reason closes the connection and releases what was queued.
 func (s *session) writeLoop(c *subscriber) {
+	defer c.releaseQueued()
 	defer c.close()
 	cfg := &s.hub.cfg
 	var ping <-chan time.Time
@@ -323,38 +553,75 @@ func (s *session) writeLoop(c *subscriber) {
 	var pingSeq uint32
 	var sendStart time.Time
 	var sendDur time.Duration
-	write := func(b outBuf) bool {
+	// batch and scratch persist across wakeups so the steady state
+	// allocates nothing: net.Buffers.WriteTo consumes the slice header it
+	// is given, so each batch wraps a fresh view of the same backing
+	// array, nilled out afterwards to not pin released buffers.
+	batch := make([]outBuf, 0, maxWriteBatch)
+	scratch := make([][]byte, maxWriteBatch)
+	writeBatch := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		for i, b := range batch {
+			scratch[i] = b.buf.Bytes()
+		}
+		nb := net.Buffers(scratch[:len(batch)])
 		c.conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 		t0 := time.Now()
-		if _, err := c.conn.Write(b.data); err != nil {
-			cfg.Metrics.Counter("transport.writer.deaths").Inc()
-			cfg.Logf("hub: client %d writer died: %v", c.id, err)
-			return false
-		}
+		_, err := nb.WriteTo(c.conn)
 		if sendStart.IsZero() {
 			sendStart = t0
 		}
 		sendDur += time.Since(t0)
-		if b.fc >= 0 {
-			cfg.Trace.Record(int(b.fc), int(c.sub), obs.StageSend, sendStart, sendDur)
-			sendStart, sendDur = time.Time{}, 0
+		for i := range batch {
+			scratch[i] = nil
+		}
+		for _, b := range batch {
+			if err == nil && b.fc >= 0 {
+				if sendStart.IsZero() {
+					sendStart = t0
+				}
+				cfg.Trace.Record(int(b.fc), int(c.sub), obs.StageSend, sendStart, sendDur)
+				sendStart, sendDur = time.Time{}, 0
+			}
+			b.buf.Release()
+		}
+		batch = batch[:0]
+		if err != nil {
+			cfg.Metrics.Counter("transport.writer.deaths").Inc()
+			cfg.Logf("hub: client %d writer died: %v", c.id, err)
+			return false
 		}
 		return true
 	}
 	for {
 		select {
 		case b := <-c.out:
-			if !write(b) {
+			batch = append(batch, b)
+			// Coalesce whatever else is already queued into the same
+			// vectored write.
+		coalesce:
+			for len(batch) < maxWriteBatch {
+				select {
+				case nb := <-c.out:
+					batch = append(batch, nb)
+				default:
+					break coalesce
+				}
+			}
+			if !writeBatch() {
 				return
 			}
 		case <-ping:
 			pingSeq++
 			cfg.Metrics.Counter("transport.pings").Inc()
-			enc, err := wire.EncodeMessage(&wire.Ping{Seq: pingSeq, T: time.Now().UnixNano()})
+			pb, err := wire.NewBuffer(&wire.Ping{Seq: pingSeq, T: time.Now().UnixNano()})
 			if err != nil {
 				return
 			}
-			if !write(outBuf{data: enc, fc: -1}) {
+			batch = append(batch, outBuf{buf: pb, fc: -1})
+			if !writeBatch() {
 				return
 			}
 		case <-c.drain:
@@ -366,28 +633,49 @@ func (s *session) writeLoop(c *subscriber) {
 	}
 }
 
-// flush empties the queued buffers and signs off with a Bye, bounded by
-// the drain budget via per-write deadlines.
+// flush empties the queued buffers in vectored batches and signs off with
+// a Bye, bounded by the drain budget via per-write deadlines.
 func (s *session) flush(c *subscriber) {
 	cfg := &s.hub.cfg
 	budget := time.Now().Add(cfg.DrainTimeout)
+	batch := make([]outBuf, 0, maxWriteBatch)
+	scratch := make([][]byte, maxWriteBatch)
 	for {
-		if time.Now().After(budget) {
-			return
-		}
-		select {
-		case b := <-c.out:
-			c.conn.SetWriteDeadline(budget)
-			if _, err := c.conn.Write(b.data); err != nil {
-				return
+		batch = batch[:0]
+	collect:
+		for len(batch) < maxWriteBatch {
+			select {
+			case b := <-c.out:
+				batch = append(batch, b)
+			default:
+				break collect
 			}
-		default:
+		}
+		if len(batch) == 0 {
 			c.conn.SetWriteDeadline(budget)
 			if err := wire.WriteMessage(c.conn, &wire.Bye{}); err != nil {
 				// The goodbye is best-effort, but a failed one is worth
 				// counting: it means the peer vanished mid-drain.
 				cfg.Metrics.Counter("transport.drain.bye_failed").Inc()
 			}
+			return
+		}
+		if time.Now().After(budget) {
+			for _, b := range batch {
+				b.buf.Release()
+			}
+			return
+		}
+		for i, b := range batch {
+			scratch[i] = b.buf.Bytes()
+		}
+		nb := net.Buffers(scratch[:len(batch)])
+		c.conn.SetWriteDeadline(budget)
+		_, err := nb.WriteTo(c.conn)
+		for _, b := range batch {
+			b.buf.Release()
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -427,27 +715,46 @@ func (s *session) noteSlowClient(c *subscriber, fcEnqueued bool) {
 // servePull answers a pull-mode request: the client asked for specific
 // cells (it runs its own visibility pipeline), the server returns exactly
 // those, followed by a FrameComplete marker. Unknown cells are skipped —
-// the FrameComplete's Cells count tells the client what it got.
+// the FrameComplete's Cells count tells the client what it got. When the
+// requested frame is the one the push path just serialized (or another
+// pull client already built), the shared buffer is reused instead of
+// re-encoding; a reused push buffer may carry the multicast accounting
+// bit, which pull clients ignore.
 func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
 	cfg := &s.hub.cfg
 	defer cfg.Trace.Begin(int(req.Frame), int(c.sub), obs.StageSerialize).End()
 	fi := int(req.Frame) % s.store.NumFrames()
 	var cells, bytes uint64
 	for _, ref := range req.Cells {
-		blk := s.store.Block(fi, cell.ID(ref.CellID), int(ref.Stride))
-		if blk == nil {
-			continue
+		k := bufKey{id: cell.ID(ref.CellID), stride: int(ref.Stride)}
+		b := s.cache.lookup(req.Frame, k)
+		if b != nil {
+			s.cPullHits.Inc()
+		} else {
+			blk := s.store.Block(fi, k.id, k.stride)
+			if blk == nil {
+				continue
+			}
+			var err error
+			b, err = wire.NewBuffer(&wire.CellData{
+				Frame:   req.Frame,
+				CellID:  ref.CellID,
+				Stride:  ref.Stride,
+				Payload: blk.Data,
+			})
+			if err != nil {
+				cfg.Metrics.Counter("hub.serialize.errors").Inc()
+				continue
+			}
+			s.cPullMisses.Inc()
+			s.cache.add(req.Frame, k, b)
 		}
-		if !s.enqueueMsg(c, &wire.CellData{
-			Frame:   req.Frame,
-			CellID:  ref.CellID,
-			Stride:  ref.Stride,
-			Payload: blk.Data,
-		}, -1) {
+		n := b.Len()
+		if !s.enqueue(c, outBuf{buf: b, fc: -1}) {
 			break
 		}
 		cells++
-		bytes += uint64(len(blk.Data))
+		bytes += uint64(n)
 	}
 	s.enqueueMsg(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes}, int32(req.Frame))
 }
@@ -487,29 +794,34 @@ func (s *session) adapt(c *subscriber, burst int) int {
 // enqueue delivers a pre-serialized buffer to the subscriber's writer
 // without blocking the frame loop; a persistently full queue (slow
 // client) drops frames, which is the right failure mode for real-time
-// media.
+// media. The call consumes exactly one buffer reference regardless of
+// outcome — on success it transfers to the writer, on failure it is
+// released here — so callers never touch the buffer again after an
+// enqueue (the vollint bufrelease check enforces this).
 func (s *session) enqueue(c *subscriber, b outBuf) bool {
 	select {
 	case <-c.done:
+		b.buf.Release()
 		return false
 	case c.out <- b:
 		return true
 	default:
 		s.hub.cfg.Metrics.Counter("transport.drops.enqueue").Inc()
 		s.cDropsEnqueue.Inc()
+		b.buf.Release()
 		return false
 	}
 }
 
-// enqueueMsg serializes m (per subscriber — only control messages and
-// pull responses come through here; the fan-out path shares buffers via
-// pushFrame) and enqueues it. fc >= 0 tags the buffer as a FrameComplete
-// for Send-span accounting.
+// enqueueMsg serializes m into a pooled buffer (per subscriber — only
+// control messages come through here; the fan-out path and servePull
+// share buffers) and enqueues it. fc >= 0 tags the buffer as a
+// FrameComplete for Send-span accounting.
 func (s *session) enqueueMsg(c *subscriber, m wire.Message, fc int32) bool {
-	enc, err := wire.EncodeMessage(m)
+	b, err := wire.NewBuffer(m)
 	if err != nil {
 		s.hub.cfg.Metrics.Counter("hub.serialize.errors").Inc()
 		return false
 	}
-	return s.enqueue(c, outBuf{data: enc, fc: fc})
+	return s.enqueue(c, outBuf{buf: b, fc: fc})
 }

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var analyzerBufRelease = &Analyzer{
+	Name: "bufrelease",
+	Doc: "an enqueue consumes one reference to a pooled wire.Buffer — releasing the same " +
+		"binding after the handoff double-frees the reference and corrupts the pool",
+	Run: runBufRelease,
+}
+
+// bufReleasePackages are the packages the check applies to: the only two
+// that move pooled wire.Buffers through enqueue-style handoffs.
+var bufReleasePackages = map[string]bool{
+	"volcast/internal/hub":       true,
+	"volcast/internal/transport": true,
+}
+
+func runBufRelease(p *Pass) {
+	if !bufReleasePackages[p.Pkg.Path] {
+		return
+	}
+	for _, body := range funcBodies(p.Pkg) {
+		// Pass 1: every *wire.Buffer identifier handed (anywhere in the
+		// argument tree, composite literals like outBuf{buf: b} included)
+		// to a call whose callee name starts with "enqueue", keyed by
+		// object with its earliest handoff position. Channel sends are
+		// not handoffs: the sender may legitimately still own references.
+		handed := map[types.Object]token.Pos{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isEnqueueCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					id, ok := an.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := p.Pkg.Info.Uses[id]
+					if obj == nil || !isNamedType(obj.Type(), "volcast/internal/wire", "Buffer") {
+						return true
+					}
+					if prev, seen := handed[obj]; !seen || call.Pos() < prev {
+						handed[obj] = call.Pos()
+					}
+					return true
+				})
+			}
+			return true
+		})
+		if len(handed) == 0 {
+			continue
+		}
+		// Pass 2: a Release() through the same binding, after the
+		// handoff in source order, is a use of a reference the function
+		// no longer owns.
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, typ, okM := methodCall(p.Pkg, call)
+			if !okM || name != "Release" || !isNamedType(typ, "volcast/internal/wire", "Buffer") {
+				return true
+			}
+			id, okI := ast.Unparen(recv).(*ast.Ident)
+			if !okI {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if pos, was := handed[obj]; was && call.Pos() > pos {
+				p.Reportf(call.Pos(),
+					"the enqueue consumed this reference; Retain before the handoff and drop the "+
+						"owner's reference through a different binding (slot table, range variable)",
+					"pooled buffer %s released after being passed to an enqueue", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isEnqueueCall reports whether the callee's name starts with "enqueue" —
+// a plain function or closure (enqueue(...)) or a method (s.enqueue(...)).
+func isEnqueueCall(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(fn.Name, "enqueue")
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(fn.Sel.Name, "enqueue")
+	}
+	return false
+}

@@ -6,8 +6,10 @@
 // sim-path packages must not read the wall clock or the global math/rand
 // (determinism). Hot-path goroutines must be cancellable and leak-free
 // (goroutinehygiene, tickleak, lockedsend). The observability layers must
-// stay nil-safe (nilsafeobs), and the transport must never silently drop
-// a write error (wireerr).
+// stay nil-safe (nilsafeobs), the transport must never silently drop
+// a write error (wireerr), and a pooled wire.Buffer reference handed to
+// an enqueue must never be released through the same binding afterwards
+// (bufrelease).
 //
 // Findings carry file:line, the check name and a one-line fix hint. A
 // deliberate exception is suppressed — with an audit trail — by a
@@ -86,6 +88,7 @@ func Analyzers() []*Analyzer {
 		analyzerTickLeak,
 		analyzerNilSafeObs,
 		analyzerWireErr,
+		analyzerBufRelease,
 	}
 }
 

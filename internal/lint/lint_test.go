@@ -79,6 +79,7 @@ func TestGolden(t *testing.T) {
 		{"tickleak", "volcast/internal/lint/testdata/tickleak"},
 		{"nilsafeobs", "volcast/internal/obs"},
 		{"wireerr", "volcast/internal/transport"},
+		{"bufrelease", "volcast/internal/hub"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

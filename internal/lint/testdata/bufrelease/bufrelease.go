@@ -1,0 +1,100 @@
+// Package bufrelease is a vollint golden fixture. The test loads it
+// under volcast/internal/hub, a package the check is scoped to.
+package bufrelease
+
+import "volcast/internal/wire"
+
+type outBuf struct {
+	buf *wire.Buffer
+	fc  int32
+}
+
+type queue struct{ out chan outBuf }
+
+// enqueue consumes one buffer reference: on failure it releases, so the
+// caller must never touch the buffer again through the handed-off name.
+func (q *queue) enqueue(b outBuf) bool {
+	select {
+	case q.out <- b:
+		return true
+	default:
+		b.buf.Release()
+		return false
+	}
+}
+
+// enqueueBuf wraps the raw buffer and forwards the reference.
+func enqueueBuf(q *queue, b *wire.Buffer) bool {
+	return q.enqueue(outBuf{buf: b})
+}
+
+// BadReleaseAfterEnqueue releases the reference it already handed off
+// inside a composite literal — a double free when the writer also
+// releases it.
+func BadReleaseAfterEnqueue(q *queue, m wire.Message) {
+	b, err := wire.NewBuffer(m)
+	if err != nil {
+		return
+	}
+	q.enqueue(outBuf{buf: b, fc: -1})
+	b.Release() //want:bufrelease
+}
+
+// BadDirectArg hands the buffer off as a plain argument and then
+// releases the consumed reference anyway.
+func BadDirectArg(q *queue, m wire.Message) {
+	b, err := wire.NewBuffer(m)
+	if err != nil {
+		return
+	}
+	if !enqueueBuf(q, b) {
+		return
+	}
+	b.Release() //want:bufrelease
+}
+
+// GoodRetainedFanOut mirrors the hub's fan-out idiom: one Retain per
+// enqueue keeps a reference per subscriber, and the owner's original
+// reference is dropped through the slot table's own binding, never the
+// name that was handed to enqueue.
+func GoodRetainedFanOut(qs []*queue, m wire.Message) {
+	slots := make([]*wire.Buffer, 0, 1)
+	b, err := wire.NewBuffer(m)
+	if err != nil {
+		return
+	}
+	slots = append(slots, b)
+	for _, q := range qs {
+		b.Retain(1)
+		q.enqueue(outBuf{buf: b})
+	}
+	for _, sb := range slots {
+		sb.Release()
+	}
+}
+
+// GoodErrorPathRelease releases before any handoff: until the enqueue,
+// the function still owns the reference.
+func GoodErrorPathRelease(q *queue, m wire.Message) {
+	b, err := wire.NewBuffer(m)
+	if err != nil {
+		return
+	}
+	if b.Len() > 1<<20 {
+		b.Release()
+		return
+	}
+	q.enqueue(outBuf{buf: b})
+}
+
+// GoodSuppressed documents a deliberate exception with the audit reason.
+func GoodSuppressed(q *queue, m wire.Message) {
+	b, err := wire.NewBuffer(m)
+	if err != nil {
+		return
+	}
+	b.Retain(1)
+	q.enqueue(outBuf{buf: b})
+	//vollint:ignore bufrelease fixture: the Retain above holds an extra reference past the handoff
+	b.Release()
+}

@@ -22,6 +22,11 @@ type FrameReport struct {
 	Slowest    string             `json:"slowest"`
 	SlowestMS  float64            `json:"slowest_ms"`
 	Stages     map[string]float64 `json:"stages"`
+	// OverBudget maps each stage that exceeded its per-stage budget (see
+	// Tracer.StageBudget) to the overrun in milliseconds. A frame can
+	// violate a stage budget without missing the frame deadline — that is
+	// the early-warning signal the budgets exist for.
+	OverBudget map[string]float64 `json:"over_budget,omitempty"`
 }
 
 // frameKey groups spans per (frame, user).
@@ -42,6 +47,10 @@ func (t *Tracer) Analyze() []FrameReport {
 	}
 	spans := t.Snapshot()
 	deadline := t.Deadline()
+	var budgetMS [numStages]float64
+	for s := Stage(0); s < numStages; s++ {
+		budgetMS[s] = float64(t.StageBudget(s)) / float64(time.Millisecond)
+	}
 
 	perUser := map[frameKey][numStages]float64{}
 	global := map[int32][numStages]float64{}
@@ -98,6 +107,12 @@ func (t *Tracer) Analyze() []FrameReport {
 			if ms > r.SlowestMS {
 				r.SlowestMS = ms
 				slowest = Stage(s)
+			}
+			if b := budgetMS[s]; b > 0 && ms > b {
+				if r.OverBudget == nil {
+					r.OverBudget = map[string]float64{}
+				}
+				r.OverBudget[Stage(s).String()] = ms - b
 			}
 		}
 		if r.SlowestMS > 0 {

@@ -88,6 +88,27 @@ const DefaultDeadline = 33 * time.Millisecond
 // capacity (spans are 32 bytes, so this is 2 MiB of ring).
 const DefaultCapacity = 1 << 16
 
+// defaultBudgetPct carves the frame deadline into per-stage budgets, in
+// percent. The split follows the paper's pipeline shape: content work
+// (generate/encode) and the client side (decode/present) dominate, the
+// radio model (airtime) and the send path get the next tranche, and the
+// bookkeeping stages get slivers. Percentages sum to 100, so a frame that
+// holds every stage budget also holds the frame deadline.
+var defaultBudgetPct = [numStages]float64{
+	StageGenerate:  12,
+	StageEncode:    18,
+	StageCache:     4,
+	StageCull:      4,
+	StagePredict:   4,
+	StagePlan:      8,
+	StageBeam:      4,
+	StageAirtime:   10,
+	StageSerialize: 6,
+	StageSend:      10,
+	StageDecode:    12,
+	StagePresent:   8,
+}
+
 // Tracer records spans into a fixed ring. All methods are safe for
 // concurrent use and nil-safe; construct with New.
 type Tracer struct {
@@ -96,6 +117,7 @@ type Tracer struct {
 	buf      []Span
 	total    uint64 // spans ever recorded; ring index = total % cap
 	deadline time.Duration
+	budgets  [numStages]time.Duration // explicit overrides; 0 = derive
 }
 
 // New returns a tracer holding the last capacity spans (DefaultCapacity
@@ -133,6 +155,51 @@ func (t *Tracer) Deadline() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.deadline
+}
+
+// SetStageBudget pins an explicit per-frame budget for one stage,
+// overriding the deadline-derived default (non-positive restores the
+// derived value).
+func (t *Tracer) SetStageBudget(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if s >= numStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.budgets[s] = d
+	t.mu.Unlock()
+}
+
+// StageBudget returns the per-frame budget for one stage: the explicit
+// override when set, otherwise the defaultBudgetPct share of the frame
+// deadline. Unknown stages have no budget (zero).
+func (t *Tracer) StageBudget(s Stage) time.Duration {
+	if t == nil {
+		return StageBudget(DefaultDeadline, s)
+	}
+	if s >= numStages {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d := t.budgets[s]; d > 0 {
+		return d
+	}
+	return StageBudget(t.deadline, s)
+}
+
+// StageBudget derives a stage's share of a frame deadline from the
+// default budget split.
+func StageBudget(deadline time.Duration, s Stage) time.Duration {
+	if s >= numStages || deadline <= 0 {
+		return 0
+	}
+	return time.Duration(float64(deadline) * defaultBudgetPct[s] / 100)
 }
 
 // Record stores one measured span.

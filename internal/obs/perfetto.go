@@ -29,6 +29,12 @@ type perfettoFile struct {
 	DisplayTimeUnit string          `json:"displayTimeUnit"`
 	DeadlineMS      float64         `json:"deadlineMs"`
 	DeadlineMisses  []FrameReport   `json:"deadlineMisses"`
+	// StageBudgetsMS is the per-stage budget table the trace was judged
+	// against; BudgetViolations lists every (frame,user) with at least one
+	// stage over its budget (a superset of deadlineMisses in practice —
+	// budgets warn before the frame deadline breaks).
+	StageBudgetsMS   map[string]float64 `json:"stageBudgetsMs"`
+	BudgetViolations []FrameReport      `json:"budgetViolations"`
 }
 
 // perfettoPID maps a span's user to a trace process id: pid 1 is the
@@ -48,7 +54,7 @@ func perfettoPID(user int32) int {
 // top-level deadlineMisses list with their full attribution.
 func (t *Tracer) WritePerfetto(w io.Writer) error {
 	if t == nil {
-		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms","deadlineMs":0,"deadlineMisses":[]}` + "\n"))
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms","deadlineMs":0,"deadlineMisses":[],"stageBudgetsMs":{},"budgetViolations":[]}` + "\n"))
 		return err
 	}
 	spans := t.Snapshot()
@@ -56,9 +62,16 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 	reports := t.Analyze()
 
 	file := perfettoFile{
-		DisplayTimeUnit: "ms",
-		DeadlineMS:      float64(t.Deadline()) / float64(time.Millisecond),
-		DeadlineMisses:  []FrameReport{},
+		DisplayTimeUnit:  "ms",
+		DeadlineMS:       float64(t.Deadline()) / float64(time.Millisecond),
+		DeadlineMisses:   []FrameReport{},
+		StageBudgetsMS:   map[string]float64{},
+		BudgetViolations: []FrameReport{},
+	}
+	for s := Stage(0); s < numStages; s++ {
+		if b := t.StageBudget(s); b > 0 {
+			file.StageBudgetsMS[s.String()] = float64(b) / float64(time.Millisecond)
+		}
 	}
 	us := func(ns int64) float64 { return float64(ns) / float64(time.Microsecond) }
 
@@ -107,6 +120,9 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 		}
 	}
 	for _, r := range reports {
+		if len(r.OverBudget) > 0 {
+			file.BudgetViolations = append(file.BudgetViolations, r)
+		}
 		if !r.Missed {
 			continue
 		}

@@ -201,41 +201,92 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 
 	// The single owned writer. Closing the connection is its job: writer
 	// exit (error or stop) severs the socket, which unblocks the reader.
-	out := make(chan wire.Message, 64)
+	// Messages arrive pre-framed in pooled buffers and everything queued
+	// at a wakeup coalesces into one vectored write; the writer owns one
+	// reference per queued buffer and releases it after the write.
+	out := make(chan *wire.Buffer, 64)
 	stopWriter := make(chan struct{})
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		defer conn.Close()
+		release := func() {
+			for {
+				select {
+				case b := <-out:
+					b.Release()
+				default:
+					return
+				}
+			}
+		}
+		defer release()
+		batch := make([]*wire.Buffer, 0, 16)
+		scratch := make([][]byte, 16)
+		writeBatch := func(deadline time.Duration) bool {
+			for i, b := range batch {
+				scratch[i] = b.Bytes()
+			}
+			nb := net.Buffers(scratch[:len(batch)])
+			conn.SetWriteDeadline(time.Now().Add(deadline))
+			_, err := nb.WriteTo(conn)
+			for i, b := range batch {
+				scratch[i] = nil
+				b.Release()
+			}
+			batch = batch[:0]
+			return err == nil
+		}
 		for {
 			select {
-			case m := <-out:
-				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-				if err := wire.WriteMessage(conn, m); err != nil {
+			case b := <-out:
+				batch = append(batch, b)
+			coalesce:
+				for len(batch) < cap(batch) {
+					select {
+					case nb := <-out:
+						batch = append(batch, nb)
+					default:
+						break coalesce
+					}
+				}
+				if !writeBatch(5 * time.Second) {
 					return
 				}
 			case <-stopWriter:
 				// Flush anything already queued (the Bye), best effort.
 				for {
 					select {
-					case m := <-out:
-						conn.SetWriteDeadline(time.Now().Add(time.Second))
-						if err := wire.WriteMessage(conn, m); err != nil {
+					case b := <-out:
+						batch = append(batch, b)
+						if len(batch) < cap(batch) {
+							continue
+						}
+						if !writeBatch(time.Second) {
 							return
 						}
 					default:
+						if len(batch) > 0 {
+							writeBatch(time.Second)
+						}
 						return
 					}
 				}
 			}
 		}
 	}()
-	// enqueue never blocks: a full queue on a stalled link drops the
-	// message (poses are superseded by the next one anyway).
+	// enqueue frames into a pooled buffer and never blocks: a full queue
+	// on a stalled link drops the message (poses are superseded by the
+	// next one anyway).
 	enqueue := func(m wire.Message) {
+		b, err := wire.NewBuffer(m)
+		if err != nil {
+			return
+		}
 		select {
-		case out <- m:
+		case out <- b:
 		default:
+			b.Release()
 		}
 	}
 	defer func() { close(stopWriter); <-writerDone }()

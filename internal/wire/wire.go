@@ -488,19 +488,34 @@ func newMessage(t MsgType) (Message, error) {
 	}
 }
 
+// AppendMessage frames one message onto dst and returns the extended
+// slice — the append-style core of the codec. Unlike EncodeMessage it
+// allocates nothing when dst has capacity, which is what lets pooled
+// buffers (see Buffer) and batch framing reuse one backing array across
+// messages. Multiple messages may be framed back to back onto the same
+// slice; a reader consumes them as a valid stream.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0)
+	dst = m.appendBody(dst)
+	body := len(dst) - start - 5
+	if body+1 > MaxMessageSize {
+		return dst[:start], ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(body+1))
+	dst[start+4] = byte(m.Type())
+	return dst, nil
+}
+
 // EncodeMessage frames one message into a standalone buffer — exactly the
 // bytes WriteMessage would put on the wire. The hub's fan-out path uses it
 // to serialize a frame's cells once and enqueue the same immutable buffer
 // to every subscriber.
 func EncodeMessage(m Message) ([]byte, error) {
-	buf := make([]byte, 5, 5+64)
-	buf = m.appendBody(buf)
-	body := len(buf) - 5
-	if body+1 > MaxMessageSize {
-		return nil, ErrTooLarge
+	buf, err := AppendMessage(make([]byte, 0, 5+64), m)
+	if err != nil {
+		return nil, err
 	}
-	binary.LittleEndian.PutUint32(buf, uint32(body+1))
-	buf[4] = byte(m.Type())
 	return buf, nil
 }
 
