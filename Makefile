@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke verify
+.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke slo-smoke verify
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,28 @@ latency-smoke:
 		-frames 20 -points 2000 -load-seed 42 -min-frames 500 \
 		-max-p50 5 -max-p95 15 -max-p99 33 \
 		-merge $(BENCH_OUT) -merge-key latency
+
+# slo-smoke proves the SLO plane end to end on a pinned seeded scenario:
+# one link-capped session (0.25 Mbps via client-side faultnet, the TCP
+# twin of the sim path's LinkCapMbps) must trip its SLO exactly once —
+# one breach event, one flight dump — while the uncapped session stays
+# clean, the scraped /sessions windowed quantiles move between scrapes,
+# and tracelint -flight accepts the captured dump. The SLO readout is
+# merged into $(BENCH_OUT) under "slo".
+slo-smoke:
+	rm -rf /tmp/volcast-flight && rm -f /tmp/volcast-slo.json
+	$(GO) run ./cmd/volload -sessions 2 -clients 4 -duration 12s \
+		-frames 30 -points 4000 -load-seed 7 -fps 60 -queue-depth 64 \
+		-cap-scene 1 -cap-mbps 0.25 \
+		-slo-every 200ms -slo-min-samples 10 -slo-recover-after 99999 \
+		-flight-dir /tmp/volcast-flight -flight-interval 1h \
+		-debug-addr 127.0.0.1:0 -scrape-every 1s \
+		-min-breaches 1 -max-breaches 1 -require-live-quantiles \
+		-out /tmp/volcast-slo.json -merge $(BENCH_OUT)
+	@dumps="$$(ls /tmp/volcast-flight/flight_*.json)"; \
+		n="$$(echo "$$dumps" | wc -l)"; \
+		if [ "$$n" -ne 1 ]; then echo "slo-smoke: $$n flight dumps, want exactly 1"; exit 1; fi; \
+		$(GO) run ./cmd/tracelint -flight $$dumps
 
 # verify is the CI gate: static checks (vet, gofmt, vollint), a full
 # build, and the test suite under the race detector (the parallel

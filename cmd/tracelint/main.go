@@ -5,9 +5,15 @@
 // responsible stage in every deadline-miss report. CI runs it on a small
 // volsim session to keep the tracing pipeline honest end to end.
 //
+// With -flight it instead validates a flight-recorder dump (volserve
+// -flight-dir, volload -flight-dir): the breach annotation must be
+// present and complete, and the captured ring must cover at least two
+// distinct pipeline stages.
+//
 // Usage:
 //
 //	tracelint [-min-stages 6] trace.json
+//	tracelint -flight flightdumps/flight_3_81_miss_rate.json
 package main
 
 import (
@@ -42,6 +48,14 @@ type budgetReport struct {
 	OverBudget map[string]float64 `json:"over_budget"`
 }
 
+// flightInfo is the breach annotation a flight-recorder dump carries.
+type flightInfo struct {
+	Scene            string `json:"scene"`
+	Window           int64  `json:"window"`
+	Reason           string `json:"reason"`
+	CapturedUnixNano int64  `json:"captured_unix_nano"`
+}
+
 // traceFile is the dump's object form.
 type traceFile struct {
 	TraceEvents      []traceEvent       `json:"traceEvents"`
@@ -49,6 +63,8 @@ type traceFile struct {
 	DeadlineMisses   []missReport       `json:"deadlineMisses"`
 	StageBudgetsMS   map[string]float64 `json:"stageBudgetsMs"`
 	BudgetViolations []budgetReport     `json:"budgetViolations"`
+	// Flight is present only on flight-recorder dumps (-flight mode).
+	Flight *flightInfo `json:"flight"`
 }
 
 func fail(format string, args ...any) {
@@ -59,9 +75,10 @@ func fail(format string, args ...any) {
 func main() {
 	minStages := flag.Int("min-stages", 6, "minimum distinct stages per fully-captured user frame (0 disables)")
 	maxBudget := flag.Int("max-budget-violations", -1, "fail when more (frame,user) pairs exceed a per-stage budget (-1 = report only)")
+	flight := flag.Bool("flight", false, "validate a flight-recorder dump: require the breach annotation and distinct stages across the ring, instead of full per-frame stage coverage")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fail("usage: tracelint [-min-stages N] trace.json")
+		fail("usage: tracelint [-min-stages N] [-flight] trace.json")
 	}
 	path := flag.Arg(0)
 
@@ -113,6 +130,38 @@ func main() {
 			maxF = f
 		}
 	}
+	// Flight mode: the dump is a breach-window snapshot of the tracer
+	// ring, so it must carry the breach annotation and show more than one
+	// pipeline stage — but the ring boundary cuts frames arbitrarily, so
+	// the strict per-frame coverage check does not apply.
+	if *flight {
+		if tf.Flight == nil {
+			fail("%s: flight mode: no \"flight\" breach annotation", path)
+		}
+		if tf.Flight.Scene == "" || tf.Flight.Reason == "" {
+			fail("%s: flight annotation incomplete: scene=%q reason=%q",
+				path, tf.Flight.Scene, tf.Flight.Reason)
+		}
+		distinct := map[string]bool{}
+		for _, ev := range tf.TraceEvents {
+			if ev.Ph == "X" {
+				distinct[ev.Name] = true
+			}
+		}
+		if len(distinct) < 2 {
+			fail("%s: flight dump covers %d distinct stages, want >= 2 (%v)",
+				path, len(distinct), keys(distinct))
+		}
+		for _, m := range tf.DeadlineMisses {
+			if m.Slowest == "" {
+				fail("%s: deadline miss (frame %d, user %d) names no responsible stage", path, m.Frame, m.User)
+			}
+		}
+		fmt.Printf("tracelint: %s ok — flight dump for scene %q (window %d, reason %q): %d spans, %d distinct stages, %d deadline misses attributed\n",
+			path, tf.Flight.Scene, tf.Flight.Window, tf.Flight.Reason, spans, len(distinct), len(tf.DeadlineMisses))
+		return
+	}
+
 	checked, worst, worstFrame := 0, -1, -1
 	if *minStages > 0 {
 		if len(userFrame) == 0 {

@@ -18,6 +18,8 @@
 //	volload -fault-reset 0.3 -load-seed 7                # seeded chaos
 //	volload -addr host:7272                              # external server
 //	volload -out report.json -merge BENCH_2026-08-08.json
+//	volload -cap-scene 1 -cap-mbps 0.25 -flight-dir /tmp/fl \
+//	        -debug-addr 127.0.0.1:0 -min-breaches 1      # SLO-plane smoke
 package main
 
 import (
@@ -28,9 +30,12 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +46,7 @@ import (
 	"volcast/internal/faultnet"
 	"volcast/internal/hub"
 	"volcast/internal/metrics"
+	"volcast/internal/obs"
 	"volcast/internal/pointcloud"
 	"volcast/internal/trace"
 	"volcast/internal/transport"
@@ -74,6 +80,12 @@ type report struct {
 	// registry is not reachable from here.
 	Cache *cacheStats `json:"cache,omitempty"`
 
+	// SLO is the per-session SLO readout: breach counts from the engine
+	// (self-host) or from -debug-addr /sessions scrapes (external), plus
+	// the scrape-observed windowed-quantile liveness. Nil when neither
+	// source is available.
+	SLO *sloReport `json:"slo,omitempty"`
+
 	GoroutinesStart int  `json:"goroutines_start"`
 	GoroutinesEnd   int  `json:"goroutines_end"`
 	Hung            bool `json:"hung"`
@@ -101,6 +113,66 @@ type hitMiss struct {
 	Misses int64 `json:"misses"`
 }
 
+// sloReport lands in the JSON report (and is merged into BENCH under
+// "slo"): the per-session breach counts plus what the /sessions scrapes
+// observed during the run.
+type sloReport struct {
+	Targets       *obs.SLOTargets       `json:"targets,omitempty"`
+	Scrapes       int                   `json:"scrapes"`
+	QuantilesLive bool                  `json:"quantiles_live"`
+	BreachesTotal int64                 `json:"breaches_total"`
+	PerSession    map[string]sessionSLO `json:"per_session,omitempty"`
+	FlightDumps   int                   `json:"flight_dumps"`
+	FlightDir     string                `json:"flight_dir,omitempty"`
+}
+
+type sessionSLO struct {
+	Breached     bool    `json:"breached"`
+	Breaches     int64   `json:"breaches"`
+	WindowFrames int64   `json:"window_frames"`
+	WindowMisses int64   `json:"window_misses"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
+// scraper polls a debug endpoint's /sessions table during the run and
+// tracks whether the windowed quantiles are actually live (changing
+// between scrapes while traffic flows).
+type scraper struct {
+	mu            sync.Mutex
+	scrapes       int
+	quantilesLive bool
+	prev          map[string]obs.SessionInfo
+	last          []obs.SessionInfo
+}
+
+func (sc *scraper) poll(base string) {
+	resp, err := http.Get(base + "/sessions?format=json")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var rows []obs.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.scrapes++
+	sc.last = rows
+	cur := make(map[string]obs.SessionInfo, len(rows))
+	for _, row := range rows {
+		cur[row.Scene] = row
+		p, ok := sc.prev[row.Scene]
+		if !ok || p.WindowFrames == 0 || row.WindowFrames == 0 {
+			continue
+		}
+		if p.P50MS != row.P50MS || p.P95MS != row.P95MS || p.P99MS != row.P99MS {
+			sc.quantilesLive = true
+		}
+	}
+	sc.prev = cur
+}
+
 func main() {
 	addr := flag.String("addr", "", "external server address (empty = self-host a hub over loopback; required for cache stats)")
 	sessions := flag.Int("sessions", 4, "scenes to spread clients across")
@@ -120,6 +192,20 @@ func main() {
 	faultLatency := flag.Duration("fault-latency", 0, "added latency per socket op")
 	faultStallEvery := flag.Int("fault-stall-every", 0, "stall every Nth read (0 = never)")
 	faultStallDur := flag.Duration("fault-stall", 20*time.Millisecond, "injected read-stall duration")
+	fps := flag.Int("fps", 0, "self-host: override every scene's frame rate (0 = store rate)")
+	queueDepth := flag.Int("queue-depth", 0, "self-host: per-subscriber outbound queue capacity (0 = hub default)")
+	capScene := flag.Int("cap-scene", -1, "link-cap this scene's clients at -cap-mbps via a client-side faultnet bandwidth cap — the TCP-path analogue of the sim path's LinkCapMbps (-1 = none)")
+	capMbps := flag.Float64("cap-mbps", 0.25, "bandwidth cap in Mbps for -cap-scene clients")
+	debugAddr := flag.String("debug-addr", "", "debug endpoint to scrape /sessions from during the run; when self-hosting, volload serves the debug mux itself on this address (127.0.0.1:0 picks a free port)")
+	scrapeEvery := flag.Duration("scrape-every", time.Second, "interval between /sessions scrapes (needs -debug-addr)")
+	sloP99 := flag.Float64("slo-p99", 33, "self-host SLO: windowed p99 frame latency ceiling in ms (0 = unchecked)")
+	sloMissRate := flag.Float64("slo-missrate", 0.05, "self-host SLO: windowed deadline-miss rate ceiling (0 = unchecked)")
+	sloMinSamples := flag.Int64("slo-min-samples", 30, "self-host SLO: minimum windowed frames+misses before a scene is evaluated")
+	sloEvery := flag.Duration("slo-every", time.Second, "self-host SLO: evaluation interval (negative disables)")
+	sloRecoverAfter := flag.Int("slo-recover-after", 3, "self-host SLO: consecutive healthy evaluations before a breached scene recovers")
+	flightDir := flag.String("flight-dir", "", "self-host: breach flight-dump directory (empty = recorder disabled)")
+	flightMax := flag.Int("flight-max", 8, "self-host: max flight dumps retained")
+	flightInterval := flag.Duration("flight-interval", 10*time.Second, "self-host: min interval between flight captures")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
 	merge := flag.String("merge", "", "merge the report into this benchjson BENCH_*.json (created if absent) under -merge-key")
 	mergeKey := flag.String("merge-key", "loadtest", "top-level key the report is merged under in the -merge file")
@@ -127,6 +213,9 @@ func main() {
 	maxP50 := flag.Float64("max-p50", 0, "exit nonzero when p50 frame latency exceeds this many ms (0 = no gate)")
 	maxP95 := flag.Float64("max-p95", 0, "exit nonzero when p95 frame latency exceeds this many ms (0 = no gate)")
 	maxP99 := flag.Float64("max-p99", 0, "exit nonzero when p99 frame latency exceeds this many ms (0 = no gate)")
+	minBreaches := flag.Int64("min-breaches", -1, "exit nonzero unless total SLO breaches >= this (-1 = no gate)")
+	maxBreaches := flag.Int64("max-breaches", -1, "exit nonzero when total SLO breaches > this (-1 = no gate)")
+	requireLiveQuantiles := flag.Bool("require-live-quantiles", false, "exit nonzero unless the scraped windowed quantiles changed across two scrapes")
 	flag.Parse()
 	if *sessions < 1 || *clients < 1 {
 		log.Fatal("volload: need -sessions >= 1 and -clients >= 1")
@@ -143,16 +232,39 @@ func main() {
 		rep.ChurnEvery = churnEvery.String()
 	}
 
-	// Self-host a hub unless pointed at an external server.
+	// Self-host a hub unless pointed at an external server. The self-host
+	// path carries the full SLO plane — event log, SLO engine, flight
+	// recorder — so a single volload run can gate breach behavior end to
+	// end (make slo-smoke).
 	var h *hub.Hub
+	var engine *obs.SLOEngine
+	var flight *obs.FlightRecorder
 	target := *addr
+	scrapeBase := ""
 	if target == "" {
 		blockcache.SetBudgetMB(*cacheMB)
+		tracer := obs.New(1 << 16)
+		events := obs.NewEventLog(1024)
+		if *flightDir != "" {
+			flight = obs.NewFlightRecorder(*flightDir, tracer, *flightMax, *flightInterval)
+		}
+		engine = obs.NewSLOEngine(obs.SLOTargets{
+			P99MaxMS:     *sloP99,
+			MissRateMax:  *sloMissRate,
+			MinSamples:   *sloMinSamples,
+			RecoverAfter: *sloRecoverAfter,
+		}, events, flight)
 		var err error
 		h, err = hub.New(hub.Config{
 			NewStore:    sceneFactory(*frames, *points, *performers, *seed, *seedStride),
 			MaxSessions: *sessions,
 			ReapAfter:   -1, // sessions live for the whole run
+			FPS:         *fps,
+			QueueDepth:  *queueDepth,
+			Trace:       tracer,
+			Events:      events,
+			SLO:         engine,
+			SLOEvery:    *sloEvery,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -165,6 +277,40 @@ func main() {
 		}()
 		target = <-ready
 		log.Printf("volload: self-hosted hub on %s", target)
+		if *debugAddr != "" {
+			// Serve the same debug mux volserve would, so the scrape path
+			// below exercises the real /sessions HTTP surface rather than
+			// reading the hub in-process.
+			ln, err := net.Listen("tcp", *debugAddr)
+			if err != nil {
+				log.Fatalf("volload: debug listener: %v", err)
+			}
+			debugSrv := &http.Server{Handler: obs.NewDebugMux(obs.DebugConfig{
+				Tracer:    tracer,
+				UserLabel: h.SubscriberLabel,
+				Sessions:  h.SessionInfos,
+				SLO:       engine,
+				Events:    events,
+			})}
+			go debugSrv.Serve(ln)
+			defer debugSrv.Close()
+			scrapeBase = "http://" + ln.Addr().String()
+			log.Printf("volload: debug endpoint on %s", ln.Addr())
+		}
+	} else if *debugAddr != "" {
+		scrapeBase = "http://" + *debugAddr
+	}
+
+	// Link cap: clients of -cap-scene dial through a bandwidth-capped
+	// faultnet wrapper, the socket-layer twin of the sim path's
+	// LinkCapMbps — the pinned way to starve exactly one session.
+	var capDialer *faultnet.Dialer
+	if *capScene >= 0 && *capMbps > 0 {
+		capDialer = faultnet.NewDialer(faultnet.Config{
+			Seed:         *loadSeed,
+			BandwidthBps: int64(*capMbps * 1e6 / 8),
+		})
+		log.Printf("volload: scene %d link-capped at %.2f Mbps", *capScene, *capMbps)
 	}
 
 	// Pose streams: the study cohort's real-motion traces, one per
@@ -229,14 +375,26 @@ func main() {
 					latencies[i] = append(latencies[i], float64(d)/float64(time.Millisecond))
 				},
 			}
-			if dialer != nil {
+			wrap, capped := dialer, false
+			if capDialer != nil && i%*sessions == *capScene {
+				wrap, capped = capDialer, true
+			}
+			if wrap != nil {
 				cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
 					d := net.Dialer{Timeout: 5 * time.Second}
 					conn, err := d.DialContext(ctx, "tcp", addr)
 					if err != nil {
 						return nil, err
 					}
-					return dialer.Wrap(conn), nil
+					if capped {
+						// A tiny kernel receive buffer makes the paced reads
+						// jam the sender's TCP window within a frame or two
+						// instead of after megabytes of kernel buffering.
+						if tc, ok := conn.(*net.TCPConn); ok {
+							tc.SetReadBuffer(2048)
+						}
+					}
+					return wrap.Wrap(conn), nil
 				}
 			}
 			for {
@@ -277,6 +435,28 @@ func main() {
 		}(i)
 	}
 
+	// Scrape loop: poll /sessions during the run so the report can attest
+	// that the windowed quantiles are live, not frozen lifetime numbers.
+	sc := &scraper{}
+	scrapeDone := make(chan struct{})
+	if scrapeBase != "" {
+		go func() {
+			defer close(scrapeDone)
+			ticker := time.NewTicker(*scrapeEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					sc.poll(scrapeBase)
+				}
+			}
+		}()
+	} else {
+		close(scrapeDone)
+	}
+
 	// The fleet must land on its own; a hang here is a finding, not a
 	// wait. Budget: the run plus a generous drain allowance.
 	fleetDone := make(chan struct{})
@@ -288,6 +468,56 @@ func main() {
 		log.Printf("volload: HANG — fleet still running %v past the deadline", 30*time.Second)
 	}
 	rep.DurationS = time.Since(start).Seconds()
+	cancel()
+	<-scrapeDone
+
+	// SLO readout: the engine is authoritative when self-hosting; an
+	// external run reads whatever the /sessions scrapes saw last.
+	if engine != nil || sc.scrapes > 0 {
+		sc.mu.Lock()
+		slo := &sloReport{
+			Scrapes:       sc.scrapes,
+			QuantilesLive: sc.quantilesLive,
+			PerSession:    map[string]sessionSLO{},
+		}
+		lastScrape := map[string]obs.SessionInfo{}
+		for _, row := range sc.last {
+			lastScrape[row.Scene] = row
+		}
+		sc.mu.Unlock()
+		if engine != nil {
+			t := engine.Targets()
+			slo.Targets = &t
+			for _, st := range engine.Status() {
+				slo.PerSession[st.Scene] = sessionSLO{
+					Breached:     st.Breached,
+					Breaches:     st.Breaches,
+					WindowFrames: st.Window.Frames,
+					WindowMisses: st.Window.Misses,
+					P99MS:        st.Window.P99MS,
+				}
+			}
+		} else {
+			for scene, row := range lastScrape {
+				slo.PerSession[scene] = sessionSLO{
+					Breached:     row.SLOBreached,
+					Breaches:     row.SLOBreaches,
+					WindowFrames: row.WindowFrames,
+					WindowMisses: row.WindowMisses,
+					P99MS:        row.P99MS,
+				}
+			}
+		}
+		for _, s := range slo.PerSession {
+			slo.BreachesTotal += s.Breaches
+		}
+		if flight != nil {
+			slo.FlightDir = flight.Dir()
+			dumps, _ := filepath.Glob(filepath.Join(flight.Dir(), "flight_*.json"))
+			slo.FlightDumps = len(dumps)
+		}
+		rep.SLO = slo
+	}
 
 	if h != nil {
 		h.Shutdown()
@@ -377,6 +607,12 @@ func main() {
 			log.Fatalf("volload: merge: %v", err)
 		}
 		log.Printf("volload: merged under %q in %s", *mergeKey, *merge)
+		if rep.SLO != nil {
+			if err := mergeIntoBench(*merge, "slo", rep.SLO); err != nil {
+				log.Fatalf("volload: merge slo: %v", err)
+			}
+			log.Printf("volload: merged under %q in %s", "slo", *merge)
+		}
 	}
 
 	log.Printf("volload: %d frames, p50/p95/p99 %.1f/%.1f/%.1f ms, %d joins, %d reconnects, goroutines %d→%d",
@@ -401,6 +637,32 @@ func main() {
 	} {
 		if g.limit > 0 && g.got > g.limit {
 			log.Fatalf("volload: FAILED: %s frame latency %.1fms > -max-%s %.1fms", g.name, g.got, g.name, g.limit)
+		}
+	}
+	// SLO gates: exact breach-count windows for pinned scenarios (the
+	// slo-smoke contract is min=max=1), zero tolerance for breaches on
+	// uncapped sessions, and a liveness check on the scraped quantiles.
+	var breachesTotal int64
+	if rep.SLO != nil {
+		breachesTotal = rep.SLO.BreachesTotal
+	}
+	if *minBreaches >= 0 && breachesTotal < *minBreaches {
+		log.Fatalf("volload: FAILED: %d SLO breaches < -min-breaches %d", breachesTotal, *minBreaches)
+	}
+	if *maxBreaches >= 0 && breachesTotal > *maxBreaches {
+		log.Fatalf("volload: FAILED: %d SLO breaches > -max-breaches %d", breachesTotal, *maxBreaches)
+	}
+	if *capScene >= 0 && rep.SLO != nil {
+		capLabel := strconv.Itoa(*capScene)
+		for scene, s := range rep.SLO.PerSession {
+			if scene != capLabel && s.Breaches > 0 {
+				log.Fatalf("volload: FAILED: uncapped scene %s breached %d times (only capped scene %s may)", scene, s.Breaches, capLabel)
+			}
+		}
+	}
+	if *requireLiveQuantiles {
+		if rep.SLO == nil || rep.SLO.Scrapes < 2 || !rep.SLO.QuantilesLive {
+			log.Fatal("volload: FAILED: windowed quantiles did not change across two /sessions scrapes")
 		}
 	}
 }
@@ -449,7 +711,7 @@ func percentile(sorted []float64, q float64) float64 {
 // given top-level key, preserving every other field as-is. A missing
 // file is created, so latency gates can run before the bench target has
 // snapshotted anything.
-func mergeIntoBench(path, key string, rep report) error {
+func mergeIntoBench(path, key string, rep any) error {
 	doc := map[string]any{}
 	raw, err := os.ReadFile(path)
 	switch {

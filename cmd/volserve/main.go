@@ -64,6 +64,14 @@ func main() {
 	chaosBwMbps := flag.Float64("chaos-bw", 0, "chaos: per-connection bandwidth cap in Mbps (0 = uncapped)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: added latency per socket op")
 	chaosAcceptFail := flag.Int("chaos-accept-fail", 0, "chaos: fail every Nth accept once (0 = never)")
+	sloP99 := flag.Float64("slo-p99", 33, "SLO: windowed p99 frame latency ceiling in ms (0 = unchecked)")
+	sloMissRate := flag.Float64("slo-missrate", 0.05, "SLO: windowed deadline-miss rate ceiling (0 = unchecked)")
+	sloMinSamples := flag.Int64("slo-min-samples", 30, "SLO: minimum windowed frames+misses before a scene is evaluated")
+	sloEvery := flag.Duration("slo-every", time.Second, "SLO: evaluation interval (negative disables the evaluator)")
+	sloRecoverAfter := flag.Int("slo-recover-after", 3, "SLO: consecutive healthy evaluations before a breached scene recovers")
+	flightDir := flag.String("flight-dir", "flightdumps", "directory for breach-triggered flight dumps (empty disables the recorder)")
+	flightMax := flag.Int("flight-max", 8, "max flight dumps retained on disk (oldest pruned)")
+	flightInterval := flag.Duration("flight-interval", 10*time.Second, "min interval between flight captures (extra breaches are suppressed)")
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
@@ -137,6 +145,21 @@ func main() {
 		return store, nil
 	}
 
+	// The SLO plane: every session's windowed QoE is evaluated against one
+	// declarative target set; transitions land on the event log, and fresh
+	// breaches snapshot the tracer ring to a flight dump on disk.
+	events := obs.NewEventLog(1024)
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		flight = obs.NewFlightRecorder(*flightDir, obs.Default(), *flightMax, *flightInterval)
+	}
+	engine := obs.NewSLOEngine(obs.SLOTargets{
+		P99MaxMS:     *sloP99,
+		MissRateMax:  *sloMissRate,
+		MinSamples:   *sloMinSamples,
+		RecoverAfter: *sloRecoverAfter,
+	}, events, flight)
+
 	h, err := hub.New(hub.Config{
 		NewStore:       newStore,
 		Vanilla:        *vanilla,
@@ -145,6 +168,9 @@ func main() {
 		DrainTimeout:   *drainTimeout,
 		ReapAfter:      *reapAfter,
 		MaxSessions:    *scenes,
+		Events:         events,
+		SLO:            engine,
+		SLOEvery:       *sloEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -186,10 +212,15 @@ func main() {
 			Addr: *debugAddr,
 			// UserLabel turns bare tracer user ids into scene<N>/<client>
 			// rows so /qoe stays readable with many sessions.
-			Handler: obs.NewDebugMux(obs.DebugConfig{UserLabel: h.SubscriberLabel}),
+			Handler: obs.NewDebugMux(obs.DebugConfig{
+				UserLabel: h.SubscriberLabel,
+				Sessions:  h.SessionInfos,
+				SLO:       engine,
+				Events:    events,
+			}),
 		}
 		go func() {
-			log.Printf("volserve: debug endpoint on %s (/metrics /trace /qoe /debug/pprof/)", *debugAddr)
+			log.Printf("volserve: debug endpoint on %s (/metrics /metrics/prom /sessions /slo /events /trace /qoe /debug/pprof/)", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("volserve: debug endpoint: %v", err)
 			}

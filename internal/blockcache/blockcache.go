@@ -120,6 +120,17 @@ func (c *Cache) SessionCounters(label string) *sessionCounters {
 	}
 }
 
+// SessionStats reads label's hit/miss counts back off this tier's
+// registry — the /sessions table computes per-session cache hit rates
+// from it. A nil cache reads zero.
+func (c *Cache) SessionStats(label string) (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	prefix := "blockcache." + c.name + ".session." + label + "."
+	return c.reg.Counter(prefix + "hits").Value(), c.reg.Counter(prefix + "misses").Value()
+}
+
 // do returns the cached value for key, joins an in-flight compute for it,
 // or runs compute and caches a successful result. compute returns the
 // value, its accounted size in bytes, and an error (errors are returned

@@ -60,8 +60,10 @@ type Config struct {
 	Seed int64
 	// Latency is added to every read and write operation.
 	Latency time.Duration
-	// BandwidthBps caps the write throughput per connection (0 = no cap).
-	// Pacing is enforced by sleeping between chunks of a write.
+	// BandwidthBps caps the per-connection throughput in each direction
+	// (0 = no cap). Pacing is enforced by sleeping between chunks of a
+	// write and after each read, so a client-side wrap also throttles the
+	// downlink via TCP backpressure.
 	BandwidthBps int64
 	// ResetProb is the per-connection probability of a scheduled
 	// mid-stream reset.
@@ -362,6 +364,10 @@ func (c *Conn) Read(p []byte) (int, error) {
 		return n, err
 	}
 	c.mu.Unlock()
+	// Pace reads too: a capped link is capped in both directions, and the
+	// client-side wrap relies on slow reads (plus a small kernel receive
+	// buffer) to push backpressure onto the sender.
+	c.pace(int64(n))
 	return n, err
 }
 

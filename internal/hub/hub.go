@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -84,6 +85,15 @@ type Config struct {
 	// MaxSessions bounds concurrently hosted sessions; joins beyond it
 	// are rejected during the handshake (0 = 1024).
 	MaxSessions int
+	// Events receives structured lifecycle events — join, leave,
+	// reconnect, reap, slow-client drop — alongside whatever the SLO
+	// engine emits (nil = no event log).
+	Events *obs.EventLog
+	// SLO evaluates each session's windowed readout every SLOEvery and
+	// drives breach/recovery transitions (nil = no SLO plane).
+	SLO *obs.SLOEngine
+	// SLOEvery is the SLO evaluation interval (0 = 1s, <0 disables).
+	SLOEvery time.Duration
 }
 
 // Hub hosts many concurrent sessions behind one listener.
@@ -101,6 +111,10 @@ type Hub struct {
 	// subLabels maps subscriber ids (the tracer's user axis) to
 	// "scene/client" labels for /qoe readability with many sessions.
 	subLabels map[uint32]string
+	// seenClients remembers every (scene, client id) pair that ever
+	// registered, so a repeat registration is reported as a reconnect
+	// event rather than a join.
+	seenClients map[uint64]struct{}
 
 	wg       sync.WaitGroup
 	ctx      context.Context
@@ -171,14 +185,15 @@ func New(cfg Config) (*Hub, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Hub{
-		cfg:       cfg,
-		tier:      tier,
-		sessions:  map[uint32]*session{},
-		building:  map[uint32]*buildFlight{},
-		pending:   map[net.Conn]struct{}{},
-		subLabels: map[uint32]string{},
-		ctx:       ctx,
-		cancel:    cancel,
+		cfg:         cfg,
+		tier:        tier,
+		sessions:    map[uint32]*session{},
+		building:    map[uint32]*buildFlight{},
+		pending:     map[net.Conn]struct{}{},
+		subLabels:   map[uint32]string{},
+		seenClients: map[uint64]struct{}{},
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	h.cConnects = cfg.Metrics.Counter("transport.connects")
 	h.cDisconnects = cfg.Metrics.Counter("transport.disconnects")
@@ -245,6 +260,8 @@ func (h *Hub) Serve(ln net.Listener) error {
 	h.mu.Unlock()
 	h.wg.Add(1)
 	go h.reaper()
+	h.wg.Add(1)
+	go h.sloLoop()
 	var retryDelay time.Duration
 	for {
 		conn, err := ln.Accept()
@@ -386,10 +403,87 @@ func (h *Hub) reaper() {
 			s.cancel()
 			<-s.done // frameLoop exits promptly on a canceled ctx
 			h.cReaped.Inc()
+			h.cfg.SLO.Forget(s.label)
+			h.cfg.Events.Append(obs.EventReap, s.label, 0,
+				fmt.Sprintf("idle for %v", h.cfg.ReapAfter))
 			h.cfg.Logf("hub: scene %d reaped after %v idle (%d sessions live)",
 				s.scene, h.cfg.ReapAfter, h.NumSessions())
 		}
 	}
+}
+
+// sloLoop periodically feeds every session's windowed readout to the SLO
+// engine; breach/recovery transitions (events, flight captures) happen
+// inside Evaluate.
+func (h *Hub) sloLoop() {
+	defer h.wg.Done()
+	if h.cfg.SLO == nil || h.cfg.SLOEvery < 0 {
+		return
+	}
+	every := h.cfg.SLOEvery
+	if every == 0 {
+		every = time.Second
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		h.mu.Lock()
+		sessions := make([]*session, 0, len(h.sessions))
+		for _, s := range h.sessions {
+			sessions = append(sessions, s)
+		}
+		h.mu.Unlock()
+		for _, s := range sessions {
+			st := s.wFrameMS.Stats()
+			h.cfg.SLO.Evaluate(s.label, obs.SLOWindow{
+				P99MS:  st.P99,
+				Frames: s.wFrames.Value(),
+				Misses: s.wMisses.Value(),
+			})
+		}
+	}
+}
+
+// SessionInfos returns the live per-session table — subscribers, frames,
+// windowed latency quantiles, encode-cache hit rate, SLO state — sorted
+// by scene. It is the obs debug endpoint's Sessions hook.
+func (h *Hub) SessionInfos() []obs.SessionInfo {
+	h.mu.Lock()
+	sessions := make([]*session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].scene < sessions[j].scene })
+	out := make([]obs.SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		st := s.wFrameMS.Stats()
+		hits, misses := h.tier.SessionStats(s.label)
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		slo := h.cfg.SLO.State(s.label)
+		out = append(out, obs.SessionInfo{
+			Scene:        s.label,
+			Subscribers:  s.numSubs(),
+			Frames:       s.cFrames.Value(),
+			WindowFrames: s.wFrames.Value(),
+			WindowMisses: s.wMisses.Value(),
+			P50MS:        st.P50,
+			P95MS:        st.P95,
+			P99MS:        st.P99,
+			CacheHitRate: rate,
+			SLOBreached:  slo.Breached,
+			SLOBreaches:  slo.Breaches,
+		})
+	}
+	return out
 }
 
 // joinSession returns the live session for scene, creating it (and
@@ -477,6 +571,7 @@ func (h *Hub) buildSession(scene uint32) (*session, error) {
 	s := &session{
 		hub:    h,
 		scene:  scene,
+		label:  label,
 		store:  store,
 		vis:    vivo.New(store.Grid(), vivo.DefaultParams()),
 		fps:    fps,
@@ -495,6 +590,13 @@ func (h *Hub) buildSession(scene uint32) (*session, error) {
 	s.cDropsSlow = h.cfg.Metrics.Counter(prefix + "drops.slowclient")
 	s.cPullHits = h.cfg.Metrics.Counter(prefix + "pull.hits")
 	s.cPullMisses = h.cfg.Metrics.Counter(prefix + "pull.misses")
+	s.cViolCull = h.cfg.Metrics.Counter(prefix + "budget_violations.cull")
+	s.cViolSerialize = h.cfg.Metrics.Counter(prefix + "budget_violations.serialize")
+	s.cViolSend = h.cfg.Metrics.Counter(prefix + "budget_violations.send")
+	s.wFrameMS = h.cfg.Metrics.Windowed(prefix+"window.frame_ms", nil)
+	s.wFrames = h.cfg.Metrics.WindowedCounter(prefix + "window.frames")
+	s.wMisses = h.cfg.Metrics.WindowedCounter(prefix + "window.misses")
+	s.wBudgetViol = h.cfg.Metrics.WindowedCounter(prefix + "window.budget_violations")
 	return s, nil
 }
 
@@ -581,6 +683,7 @@ func (h *Hub) handle(conn net.Conn) {
 		s.removeSub(c)
 		h.cDisconnects.Inc()
 		s.cDisconnects.Inc()
+		h.cfg.Events.Append(obs.EventLeave, s.label, int(c.sub), "")
 	}()
 
 	nx, ny, nz := s.store.Grid().Dims()
@@ -635,7 +738,7 @@ func (h *Hub) handle(conn net.Conn) {
 		case *wire.Ping:
 			// Answer through the owned writer; a full queue on a dying
 			// connection just drops the pong.
-			s.enqueueMsg(c, &wire.Pong{Seq: m.Seq, T: m.T}, -1)
+			s.enqueueMsg(c, &wire.Pong{Seq: m.Seq, T: m.T}, -1, time.Time{})
 		case *wire.Pong:
 			h.cfg.Metrics.Counter("transport.pongs").Inc()
 		case *wire.Bye:
@@ -675,7 +778,15 @@ func (h *Hub) register(s *session, c *subscriber, conn net.Conn) bool {
 		name = "client" + strconv.FormatUint(uint64(c.id), 10)
 	}
 	h.subLabels[sub] = "scene" + strconv.FormatUint(uint64(s.scene), 10) + "/" + name
+	// A (scene, client) pair seen before is a reconnect, not a join.
+	seenKey := uint64(s.scene)<<32 | uint64(c.id)
+	typ := obs.EventJoin
+	if _, seen := h.seenClients[seenKey]; seen {
+		typ = obs.EventReconnect
+	}
+	h.seenClients[seenKey] = struct{}{}
 	h.mu.Unlock()
+	h.cfg.Events.Append(typ, s.label, int(sub), name)
 	return true
 }
 

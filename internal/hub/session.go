@@ -2,6 +2,7 @@ package hub
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -20,6 +21,9 @@ import (
 type session struct {
 	hub   *Hub
 	scene uint32
+	// label is the scene id in decimal — the key under which the
+	// session's metrics, events, and SLO state are filed.
+	label string
 	store *vivo.Store
 	vis   *vivo.Visibility
 	fps   int
@@ -50,6 +54,18 @@ type session struct {
 	cConnects, cDisconnects   *metrics.Counter
 	cDropsEnqueue, cDropsSlow *metrics.Counter
 	cPullHits, cPullMisses    *metrics.Counter
+	// Per-stage budget-violation counters
+	// (hub.session.<scene>.budget_violations.*).
+	cViolCull, cViolSerialize, cViolSend *metrics.Counter
+
+	// Sliding-window instruments (hub.session.<scene>.window.*): the
+	// SLO engine and /sessions read these for "the last ~10s" instead
+	// of lifetime totals. All nil-safe, so the bare sessions tests and
+	// benchmarks build skip the whole plane at zero cost.
+	wFrameMS    *metrics.Windowed        // frame push→socket latency (ms)
+	wFrames     *metrics.WindowedCounter // FrameComplete deliveries
+	wMisses     *metrics.WindowedCounter // late deliveries + dropped FCs
+	wBudgetViol *metrics.WindowedCounter // per-stage budget violations
 }
 
 // outBuf is one pre-serialized wire message headed for a subscriber. The
@@ -57,10 +73,13 @@ type session struct {
 // — writers only ever read it — and the enqueue transfers exactly one
 // reference to the writer, which releases it after the socket write.
 // fc >= 0 marks a FrameComplete for that frame, which is where the
-// writer records the Send span.
+// writer records the Send span. t0, when set on a FrameComplete, is the
+// frame's production start: the writer measures t0→socket-write as the
+// frame's delivered latency for the windowed SLO instruments.
 type outBuf struct {
 	buf *wire.Buffer
 	fc  int32
+	t0  time.Time
 }
 
 // subscriber is one connected player within a session.
@@ -347,6 +366,7 @@ func (s *session) pushFrame(frame int) {
 		return
 	}
 	cfg := &s.hub.cfg
+	frameStart := time.Now()
 	fi := frame % s.store.NumFrames()
 	occ := s.store.Frame(fi).Occupied
 
@@ -372,6 +392,10 @@ func (s *session) pushFrame(frame int) {
 		}
 	}
 	cull.End()
+	if b := cfg.Trace.StageBudget(obs.StageCull); b > 0 && time.Since(frameStart) > b {
+		s.cViolCull.Inc()
+		s.wBudgetViol.Add(1)
+	}
 
 	// Plan the fan-out: dedupe (cell, stride) pairs into a slot index and
 	// give every push subscriber an ordered cursor walk over it.
@@ -482,6 +506,10 @@ func (s *session) pushFrame(frame int) {
 			advance(i)
 		}
 	}
+	if b := cfg.Trace.StageBudget(obs.StageSerialize); b > 0 && time.Since(serStart) > b {
+		s.cViolSerialize.Inc()
+		s.wBudgetViol.Add(1)
+	}
 
 	// FrameComplete, last, per subscriber — but the payload only depends
 	// on (frame, cells, bytes), so identical verdicts share one buffer
@@ -508,7 +536,13 @@ func (s *session) pushFrame(frame int) {
 		fcOK := false
 		if fb != nil {
 			fb.Retain(1)
-			fcOK = s.enqueue(c, outBuf{buf: fb, fc: int32(frame)})
+			fcOK = s.enqueue(c, outBuf{buf: fb, fc: int32(frame), t0: frameStart})
+		}
+		if !fcOK {
+			// Never delivered: the writer will not see this frame, so the
+			// miss is counted here (delivered-but-late misses are the
+			// writer's).
+			s.wMisses.Add(1)
 		}
 		cfg.Trace.Record(frame, int(c.sub), obs.StageSerialize, serStart, time.Since(serStart))
 		s.cCells.Add(int64(cells[i]))
@@ -553,6 +587,10 @@ func (s *session) writeLoop(c *subscriber) {
 	var pingSeq uint32
 	var sendStart time.Time
 	var sendDur time.Duration
+	// Deadline and send budget resolved once: the windowed miss/violation
+	// accounting below compares against them per delivered frame.
+	deadline := cfg.Trace.Deadline()
+	sendBudget := cfg.Trace.StageBudget(obs.StageSend)
 	// batch and scratch persist across wakeups so the steady state
 	// allocates nothing: net.Buffers.WriteTo consumes the slice header it
 	// is given, so each batch wraps a fresh view of the same backing
@@ -583,7 +621,21 @@ func (s *session) writeLoop(c *subscriber) {
 					sendStart = t0
 				}
 				cfg.Trace.Record(int(b.fc), int(c.sub), obs.StageSend, sendStart, sendDur)
+				if sendBudget > 0 && sendDur > sendBudget {
+					s.cViolSend.Inc()
+					s.wBudgetViol.Add(1)
+				}
 				sendStart, sendDur = time.Time{}, 0
+				// The frame is on the socket: t0→now is its delivered
+				// latency for the windowed SLO plane.
+				if !b.t0.IsZero() {
+					lat := time.Since(b.t0)
+					s.wFrameMS.Observe(float64(lat) / float64(time.Millisecond))
+					s.wFrames.Add(1)
+					if lat > deadline {
+						s.wMisses.Add(1)
+					}
+				}
 			}
 			b.buf.Release()
 		}
@@ -707,6 +759,8 @@ func (s *session) noteSlowClient(c *subscriber, fcEnqueued bool) {
 	if drops >= cfg.SlowClientFrames {
 		cfg.Metrics.Counter("transport.drops.slowclient").Inc()
 		s.cDropsSlow.Inc()
+		cfg.Events.Append(obs.EventSlowDrop, s.label, int(c.sub),
+			fmt.Sprintf("client %d not draining for %d frames", c.id, drops))
 		cfg.Logf("hub: client %d not draining for %d frames — dropping", c.id, drops)
 		c.close()
 	}
@@ -722,6 +776,7 @@ func (s *session) noteSlowClient(c *subscriber, fcEnqueued bool) {
 // bit, which pull clients ignore.
 func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
 	cfg := &s.hub.cfg
+	pullStart := time.Now()
 	defer cfg.Trace.Begin(int(req.Frame), int(c.sub), obs.StageSerialize).End()
 	fi := int(req.Frame) % s.store.NumFrames()
 	var cells, bytes uint64
@@ -756,7 +811,9 @@ func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
 		cells++
 		bytes += uint64(n)
 	}
-	s.enqueueMsg(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes}, int32(req.Frame))
+	if !s.enqueueMsg(c, &wire.FrameComplete{Frame: req.Frame, Cells: uint32(cells), Bytes: bytes}, int32(req.Frame), pullStart) {
+		s.wMisses.Add(1)
+	}
 }
 
 // maxDegrade bounds the server-side density reduction (stride ×8).
@@ -784,7 +841,7 @@ func (s *session) adapt(c *subscriber, burst int) int {
 	level := c.degrade
 	c.mu.Unlock()
 	if level != old {
-		s.enqueueMsg(c, &wire.Adapt{Quality: uint8(level), Reason: 2}, -1) // quality-down family
+		s.enqueueMsg(c, &wire.Adapt{Quality: uint8(level), Reason: 2}, -1, time.Time{}) // quality-down family
 		s.hub.cfg.Logf("hub: client %d adaptation level %d -> %d (queue depth %d, burst %d)",
 			c.id, old, level, depth, burst)
 	}
@@ -816,12 +873,13 @@ func (s *session) enqueue(c *subscriber, b outBuf) bool {
 // enqueueMsg serializes m into a pooled buffer (per subscriber — only
 // control messages come through here; the fan-out path and servePull
 // share buffers) and enqueues it. fc >= 0 tags the buffer as a
-// FrameComplete for Send-span accounting.
-func (s *session) enqueueMsg(c *subscriber, m wire.Message, fc int32) bool {
+// FrameComplete for Send-span accounting; a non-zero t0 additionally
+// marks the frame's production start for windowed latency accounting.
+func (s *session) enqueueMsg(c *subscriber, m wire.Message, fc int32, t0 time.Time) bool {
 	b, err := wire.NewBuffer(m)
 	if err != nil {
 		s.hub.cfg.Metrics.Counter("hub.serialize.errors").Inc()
 		return false
 	}
-	return s.enqueue(c, outBuf{buf: b, fc: fc})
+	return s.enqueue(c, outBuf{buf: b, fc: fc, t0: t0})
 }

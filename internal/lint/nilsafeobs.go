@@ -7,16 +7,22 @@ import (
 
 var analyzerNilSafeObs = &Analyzer{
 	Name: "nilsafeobs",
-	Doc: "exported pointer-receiver methods on obs.Tracer and the metrics types must " +
-		"tolerate a nil receiver — a nil tracer/registry is how instrumentation is disabled",
+	Doc: "exported pointer-receiver methods on the obs observability types and the metrics " +
+		"types must tolerate a nil receiver — a nil tracer/registry/engine is how " +
+		"instrumentation is disabled",
 	Run: runNilSafeObs,
 }
 
 // nilSafeTargets maps package path -> the exported receiver types whose
 // methods must be nil-safe; an empty set means every exported type.
 var nilSafeTargets = map[string]map[string]bool{
-	"volcast/internal/obs":     {"Tracer": true},
-	"volcast/internal/metrics": {}, // all exported types
+	"volcast/internal/obs": {
+		"Tracer":         true,
+		"SLOEngine":      true,
+		"EventLog":       true,
+		"FlightRecorder": true,
+	},
+	"volcast/internal/metrics": {}, // all exported types (incl. Windowed, WindowedCounter)
 }
 
 func runNilSafeObs(p *Pass) {

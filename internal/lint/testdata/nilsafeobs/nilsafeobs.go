@@ -42,3 +42,51 @@ func (t *Tracer) GoodDelegate() {
 func (t *Tracer) internalBump() {
 	t.count++
 }
+
+// EventLog mirrors the SLO-plane event ring: it joined the target set
+// alongside SLOEngine and FlightRecorder.
+type EventLog struct {
+	next int64
+}
+
+// BadAppend dereferences a field with no nil guard.
+func (l *EventLog) BadAppend() { //want:nilsafeobs
+	l.next++
+}
+
+// GoodTotal starts with the canonical guard.
+func (l *EventLog) GoodTotal() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.next
+}
+
+// SLOEngine mirrors the SLO evaluator's shape.
+type SLOEngine struct {
+	evals int64
+}
+
+// BadEvaluate dereferences a field with no nil guard.
+func (e *SLOEngine) BadEvaluate() { //want:nilsafeobs
+	e.evals++
+}
+
+// GoodState starts with the canonical guard.
+func (e *SLOEngine) GoodState() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.evals
+}
+
+// Helper is NOT in the obs target set: unguarded methods on it are out
+// of scope even in this package.
+type Helper struct {
+	n int
+}
+
+// Bump has no guard but Helper is untargeted, so no finding.
+func (h *Helper) Bump() {
+	h.n++
+}

@@ -254,6 +254,8 @@ type Registry struct {
 	counters map[string]*Counter
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	windows  map[string]*Windowed
+	wcounts  map[string]*WindowedCounter
 }
 
 // NewRegistry returns an empty registry.
@@ -262,6 +264,8 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		timers:   map[string]*Timer{},
 		hists:    map[string]*Histogram{},
+		windows:  map[string]*Windowed{},
+		wcounts:  map[string]*WindowedCounter{},
 	}
 }
 
@@ -323,6 +327,40 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Windowed returns (creating if needed) the named sliding-window
+// histogram over the DefaultWindow/DefaultSubWindows ring. Bounds are
+// fixed on first creation (nil defaults to MillisBuckets) and ignored on
+// later lookups.
+func (r *Registry) Windowed(name string, bounds []float64) *Windowed {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindowed(bounds, 0, 0)
+		r.windows[name] = w
+	}
+	return w
+}
+
+// WindowedCounter returns (creating if needed) the named sliding-window
+// counter over the DefaultWindow/DefaultSubWindows ring.
+func (r *Registry) WindowedCounter(name string) *WindowedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.wcounts[name]
+	if !ok {
+		c = NewWindowedCounter(0, 0)
+		r.wcounts[name] = c
+	}
+	return c
+}
+
 // Reset drops every instrument.
 func (r *Registry) Reset() {
 	if r == nil {
@@ -333,6 +371,8 @@ func (r *Registry) Reset() {
 	r.counters = map[string]*Counter{}
 	r.timers = map[string]*Timer{}
 	r.hists = map[string]*Histogram{}
+	r.windows = map[string]*Windowed{}
+	r.wcounts = map[string]*WindowedCounter{}
 }
 
 // names returns the sorted keys of one instrument map.
@@ -362,6 +402,14 @@ func (r *Registry) String() string {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	windows := make(map[string]*Windowed, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
+	}
+	wcounts := make(map[string]*WindowedCounter, len(r.wcounts))
+	for k, v := range r.wcounts {
+		wcounts[k] = v
 	}
 	r.mu.Unlock()
 
@@ -410,6 +458,20 @@ func (r *Registry) String() string {
 			b.WriteByte('\n')
 		}
 	}
+	if len(windows) > 0 {
+		b.WriteString("windows:\n")
+		for _, name := range names(windows) {
+			s := windows[name].Stats()
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g window=%.0fs\n",
+				name, s.Count, s.Mean, s.P50, s.P95, s.P99, s.WindowS)
+		}
+	}
+	if len(wcounts) > 0 {
+		b.WriteString("window counters:\n")
+		for _, name := range names(wcounts) {
+			fmt.Fprintf(&b, "  %-32s %d\n", name, wcounts[name].Value())
+		}
+	}
 	return b.String()
 }
 
@@ -434,11 +496,15 @@ type HistogramStats struct {
 	Counts []int64   `json:"counts"`
 }
 
-// Snapshot is the JSON form of a registry.
+// Snapshot is the JSON form of a registry. Windows and WindowCounters
+// hold the sliding-window instruments' current readouts — already
+// per-interval by construction, so Delta carries them through as-is.
 type Snapshot struct {
-	Counters   map[string]int64          `json:"counters"`
-	Timers     map[string]TimerStats     `json:"timers"`
-	Histograms map[string]HistogramStats `json:"histograms"`
+	Counters       map[string]int64          `json:"counters"`
+	Timers         map[string]TimerStats     `json:"timers"`
+	Histograms     map[string]HistogramStats `json:"histograms"`
+	Windows        map[string]WindowStats    `json:"windows,omitempty"`
+	WindowCounters map[string]int64          `json:"window_counters,omitempty"`
 }
 
 // Snapshot captures the current values of every instrument.
@@ -464,7 +530,27 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	windows := make(map[string]*Windowed, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
+	}
+	wcounts := make(map[string]*WindowedCounter, len(r.wcounts))
+	for k, v := range r.wcounts {
+		wcounts[k] = v
+	}
 	r.mu.Unlock()
+	if len(windows) > 0 {
+		s.Windows = map[string]WindowStats{}
+		for name, w := range windows {
+			s.Windows[name] = w.Stats()
+		}
+	}
+	if len(wcounts) > 0 {
+		s.WindowCounters = map[string]int64{}
+		for name, c := range wcounts {
+			s.WindowCounters[name] = c.Value()
+		}
+	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for name, c := range counters {
 		s.Counters[name] = c.Value()
@@ -548,6 +634,26 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		}
 		d.Histograms[name] = dh
 	}
+	// Windowed instruments are already per-interval readouts: the delta
+	// is the current window, carried through when it saw any activity.
+	for name, w := range s.Windows {
+		if w.Count == 0 {
+			continue
+		}
+		if d.Windows == nil {
+			d.Windows = map[string]WindowStats{}
+		}
+		d.Windows[name] = w
+	}
+	for name, v := range s.WindowCounters {
+		if v == 0 {
+			continue
+		}
+		if d.WindowCounters == nil {
+			d.WindowCounters = map[string]int64{}
+		}
+		d.WindowCounters[name] = v
+	}
 	return d
 }
 
@@ -586,6 +692,20 @@ func (s Snapshot) String() string {
 				}
 			}
 			b.WriteByte('\n')
+		}
+	}
+	if len(s.Windows) > 0 {
+		b.WriteString("windows:\n")
+		for _, name := range names(s.Windows) {
+			w := s.Windows[name]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g window=%.0fs\n",
+				name, w.Count, w.Mean, w.P50, w.P95, w.P99, w.WindowS)
+		}
+	}
+	if len(s.WindowCounters) > 0 {
+		b.WriteString("window counters:\n")
+		for _, name := range names(s.WindowCounters) {
+			fmt.Fprintf(&b, "  %-32s %d\n", name, s.WindowCounters[name])
 		}
 	}
 	return b.String()

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Windowed/WindowedCounter deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestWindowed builds a 10-sub-window, 10s Windowed on a fake clock.
+func newTestWindowed(clk *fakeClock) *Windowed {
+	w := NewWindowed(nil, 10*time.Second, 10)
+	w.now = clk.now
+	w.curEnd = clk.now().Add(w.subDur)
+	return w
+}
+
+func TestWindowedNil(t *testing.T) {
+	var w *Windowed
+	w.Observe(1)
+	if w.Count() != 0 || w.Quantile(0.5) != 0 {
+		t.Fatal("nil Windowed must read zero")
+	}
+	if s := w.Stats(); s != (WindowStats{}) {
+		t.Fatalf("nil Stats = %+v", s)
+	}
+	var c *WindowedCounter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil WindowedCounter must read zero")
+	}
+}
+
+func TestWindowedObserveAndQuantiles(t *testing.T) {
+	clk := newFakeClock()
+	w := newTestWindowed(clk)
+	for i := 0; i < 100; i++ {
+		w.Observe(5) // lands in the (2,5] bucket
+	}
+	if got := w.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	p99 := w.Quantile(0.99)
+	if p99 < 2 || p99 > 5 {
+		t.Fatalf("p99 = %g, want within (2,5]", p99)
+	}
+	s := w.Stats()
+	if s.Count != 100 || s.Mean != 5 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.WindowS != 10 {
+		t.Fatalf("WindowS = %g, want 10", s.WindowS)
+	}
+}
+
+func TestWindowedRotationExpires(t *testing.T) {
+	clk := newFakeClock()
+	w := newTestWindowed(clk)
+	w.Observe(1)
+	w.Observe(1)
+
+	// Still inside the window after a few sub-window steps.
+	clk.advance(5 * time.Second)
+	if got := w.Count(); got != 2 {
+		t.Fatalf("after 5s Count = %d, want 2", got)
+	}
+
+	// New samples land in a newer sub-window.
+	w.Observe(30)
+	clk.advance(4 * time.Second) // old samples now ~9s old, still in
+	if got := w.Count(); got != 3 {
+		t.Fatalf("after 9s Count = %d, want 3", got)
+	}
+
+	// Step past the first samples' sub-window: only the later one left.
+	clk.advance(2 * time.Second)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("after 11s Count = %d, want 1 (old expired)", got)
+	}
+	p50 := w.Quantile(0.50)
+	if p50 <= 20 || p50 > 33 {
+		t.Fatalf("p50 = %g, want within (20,33] after old samples expired", p50)
+	}
+
+	// A long gap clears everything at once.
+	clk.advance(time.Hour)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("after 1h Count = %d, want 0", got)
+	}
+	if s := w.Stats(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("Stats after expiry = %+v", s)
+	}
+}
+
+func TestWindowedRotationKeepsAggregateConsistent(t *testing.T) {
+	clk := newFakeClock()
+	w := newTestWindowed(clk)
+	// One observation per sub-window for two full window lengths; the
+	// aggregate must stay pinned at the ring size.
+	for i := 0; i < 20; i++ {
+		w.Observe(float64(i))
+		clk.advance(time.Second)
+	}
+	if got := w.Count(); got < 9 || got > 10 {
+		t.Fatalf("steady-state Count = %d, want ~10", got)
+	}
+	// The running aggregate must match a recount of the live buckets.
+	w.mu.Lock()
+	var n int64
+	for _, c := range w.agg {
+		n += c
+	}
+	if n != w.aggN {
+		w.mu.Unlock()
+		t.Fatalf("agg bucket sum %d != aggN %d", n, w.aggN)
+	}
+	w.mu.Unlock()
+}
+
+func TestWindowedCounterRotation(t *testing.T) {
+	clk := newFakeClock()
+	c := NewWindowedCounter(10*time.Second, 10)
+	c.now = clk.now
+	c.curEnd = clk.now().Add(c.subDur)
+
+	c.Add(3)
+	clk.advance(5 * time.Second)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+	clk.advance(6 * time.Second) // first burst expired
+	if got := c.Value(); got != 1 {
+		t.Fatalf("Value = %d, want 1 after partial expiry", got)
+	}
+	clk.advance(time.Minute)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value = %d, want 0 after full expiry", got)
+	}
+}
+
+func TestWindowedConcurrent(t *testing.T) {
+	// Real clock: exercises rotation racing Observe under -race.
+	w := NewWindowed(nil, 50*time.Millisecond, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(i % 40))
+				if i%50 == 0 {
+					_ = w.Stats()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_ = w.Stats()
+}
+
+func TestRegistryWindowedLifecycle(t *testing.T) {
+	r := NewRegistry()
+	w := r.Windowed("lat", nil)
+	if w == nil {
+		t.Fatal("Windowed returned nil")
+	}
+	if r.Windowed("lat", nil) != w {
+		t.Fatal("Windowed must return the same instance")
+	}
+	c := r.WindowedCounter("miss")
+	if c == nil || r.WindowedCounter("miss") != c {
+		t.Fatal("WindowedCounter must return a stable instance")
+	}
+	w.Observe(7)
+	c.Add(2)
+
+	snap := r.Snapshot()
+	if snap.Windows["lat"].Count != 1 {
+		t.Fatalf("snapshot window = %+v", snap.Windows["lat"])
+	}
+	if snap.WindowCounters["miss"] != 2 {
+		t.Fatalf("snapshot window counter = %d", snap.WindowCounters["miss"])
+	}
+	out := r.String()
+	if !strings.Contains(out, "windows:") || !strings.Contains(out, "window counters:") {
+		t.Fatalf("String missing windowed sections:\n%s", out)
+	}
+	d := snap.Delta(Snapshot{})
+	if d.Windows["lat"].Count != 1 || d.WindowCounters["miss"] != 2 {
+		t.Fatalf("Delta must carry windowed readouts through: %+v", d)
+	}
+
+	var nilReg *Registry
+	if nilReg.Windowed("x", nil) != nil || nilReg.WindowedCounter("x") != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	r.Reset()
+	if got := r.Windowed("lat", nil); got == w {
+		t.Fatal("Reset must drop windowed instruments")
+	}
+}

@@ -107,3 +107,82 @@ func TestDebugPprofAndIndex(t *testing.T) {
 		t.Errorf("GET /nope = %d, want 404", code)
 	}
 }
+
+func TestDebugSLOPlaneEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("hub.session.lobby.frames").Add(3)
+	log := NewEventLog(16)
+	log.Append(EventJoin, "lobby", 1, "client 9")
+	eng := NewSLOEngine(SLOTargets{P99MaxMS: 33, MinSamples: 1, RecoverAfter: 1}, log, nil)
+	eng.Evaluate("lobby", SLOWindow{P99MS: 99, Frames: 50})
+	srv := httptest.NewServer(NewDebugMux(DebugConfig{
+		Metrics: reg,
+		Tracer:  New(16),
+		Events:  log,
+		SLO:     eng,
+		Sessions: func() []SessionInfo {
+			return []SessionInfo{{
+				Scene: "lobby", Subscribers: 2, Frames: 3,
+				WindowFrames: 50, P99MS: 99, SLOBreached: true, SLOBreaches: 1,
+			}}
+		},
+	}))
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/metrics/prom")
+	if code != http.StatusOK || !strings.Contains(body, `hub_session_frames_total{scene="lobby"} 3`) {
+		t.Errorf("GET /metrics/prom = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/sessions")
+	if code != http.StatusOK || !strings.Contains(body, "lobby") || !strings.Contains(body, "BREACH") {
+		t.Errorf("GET /sessions = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/sessions?format=json")
+	var rows []SessionInfo
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &rows) != nil ||
+		len(rows) != 1 || rows[0].Scene != "lobby" || !rows[0].SLOBreached {
+		t.Errorf("GET /sessions?format=json = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/slo")
+	if code != http.StatusOK || !strings.Contains(body, "BREACHED") || !strings.Contains(body, "p99<=33ms") {
+		t.Errorf("GET /slo = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/slo?format=json")
+	var slo struct {
+		Targets  SLOTargets  `json:"targets"`
+		Sessions []SLOStatus `json:"sessions"`
+	}
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &slo) != nil ||
+		slo.Targets.P99MaxMS != 33 || len(slo.Sessions) != 1 || !slo.Sessions[0].Breached {
+		t.Errorf("GET /slo?format=json = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/events")
+	if code != http.StatusOK || !strings.Contains(body, "join") || !strings.Contains(body, "slo_breach") {
+		t.Errorf("GET /events = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/events?format=json")
+	var evs []Event
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &evs) != nil || len(evs) < 2 {
+		t.Errorf("GET /events?format=json = %d:\n%s", code, body)
+	}
+}
+
+func TestDebugSLOPlaneDisabled(t *testing.T) {
+	// Without Sessions/SLO/Events wired, the endpoints degrade gracefully.
+	srv, _ := debugServer(t)
+	if code, body := get(t, srv.URL+"/sessions?format=json"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("GET /sessions = %d: %q", code, body)
+	}
+	if code, body := get(t, srv.URL+"/slo"); code != http.StatusOK || !strings.Contains(body, "disabled") {
+		t.Errorf("GET /slo = %d: %q", code, body)
+	}
+	if code, body := get(t, srv.URL+"/events?format=json"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("GET /events = %d: %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/metrics/prom"); code != http.StatusOK {
+		t.Errorf("GET /metrics/prom = %d", code)
+	}
+}
