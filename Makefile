@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke slo-smoke verify
+.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke slo-smoke layer-smoke verify
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,20 @@ slo-smoke:
 		n="$$(echo "$$dumps" | wc -l)"; \
 		if [ "$$n" -ne 1 ]; then echo "slo-smoke: $$n flight dumps, want exactly 1"; exit 1; fi; \
 		$(GO) run ./cmd/tracelint -flight $$dumps
+
+# layer-smoke proves tiered serving end to end on a pinned scenario: two
+# scenes with identical single-frame content, layered push clients, and
+# one pull probe per scene that holds a coarse rung then flips to full
+# density mid-run. Gates: the upgrades travel as enhancement-only deltas
+# that undercut a full re-send (-min-delta-cells), and the second scene's
+# store build hits the first's shared encode-tier entries
+# (-min-cache-hits) — one encode serves every tier and every scene. The
+# layer readout is merged into $(BENCH_OUT) under "layer".
+layer-smoke:
+	$(GO) run ./cmd/volload -sessions 2 -clients 8 -duration 6s \
+		-frames 1 -points 4000 -load-seed 1 -min-frames 500 \
+		-layers -probe-upgrade -min-delta-cells 1 -min-cache-hits 1 \
+		-merge $(BENCH_OUT) -merge-key layer
 
 # verify is the CI gate: static checks (vet, gofmt, vollint), a full
 # build, and the test suite under the race detector (the parallel

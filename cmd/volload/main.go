@@ -80,6 +80,11 @@ type report struct {
 	// registry is not reachable from here.
 	Cache *cacheStats `json:"cache,omitempty"`
 
+	// Layers is the layered-serving readout (deltas received, bytes a
+	// full re-send would have cost); nil unless -layers or -probe-upgrade
+	// put the layered path on the wire.
+	Layers *layerStats `json:"layers,omitempty"`
+
 	// SLO is the per-session SLO readout: breach counts from the engine
 	// (self-host) or from -debug-addr /sessions scrapes (external), plus
 	// the scrape-observed windowed-quantile liveness. Nil when neither
@@ -111,6 +116,20 @@ type cacheStats struct {
 type hitMiss struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+}
+
+// layerStats aggregates the enhancement-delta accounting across the push
+// fleet and the -probe-upgrade pull probes: DeltaBytes went on the wire,
+// DeltaFullBytes is what re-sending those cells whole would have cost.
+type layerStats struct {
+	Probes         int     `json:"probes,omitempty"`
+	ProbeFrames    int64   `json:"probe_frames,omitempty"`
+	ProbeDropped   int64   `json:"probe_dropped,omitempty"`
+	ProbeCells     int64   `json:"probe_cells,omitempty"`
+	DeltaCells     int64   `json:"delta_cells"`
+	DeltaBytes     int64   `json:"delta_bytes"`
+	DeltaFullBytes int64   `json:"delta_full_bytes"`
+	SavingsFrac    float64 `json:"savings_frac"`
 }
 
 // sloReport lands in the JSON report (and is merged into BENCH under
@@ -206,6 +225,9 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "self-host: breach flight-dump directory (empty = recorder disabled)")
 	flightMax := flag.Int("flight-max", 8, "self-host: max flight dumps retained")
 	flightInterval := flag.Duration("flight-interval", 10*time.Second, "self-host: min interval between flight captures")
+	layersOn := flag.Bool("layers", false, "push clients advertise layered serving, so density upgrades arrive as enhancement-only deltas")
+	probeUpgrade := flag.Bool("probe-upgrade", false, "run one layered pull probe per scene that requests a coarse rung for the first half of the run, then flips to full density — a deterministic tier upgrade that must arrive as enhancement-only deltas")
+	probeStride := flag.Int("probe-stride", 2, "coarse rung the -probe-upgrade probes start at")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
 	merge := flag.String("merge", "", "merge the report into this benchjson BENCH_*.json (created if absent) under -merge-key")
 	mergeKey := flag.String("merge-key", "loadtest", "top-level key the report is merged under in the -merge file")
@@ -213,6 +235,8 @@ func main() {
 	maxP50 := flag.Float64("max-p50", 0, "exit nonzero when p50 frame latency exceeds this many ms (0 = no gate)")
 	maxP95 := flag.Float64("max-p95", 0, "exit nonzero when p95 frame latency exceeds this many ms (0 = no gate)")
 	maxP99 := flag.Float64("max-p99", 0, "exit nonzero when p99 frame latency exceeds this many ms (0 = no gate)")
+	minDeltaCells := flag.Int64("min-delta-cells", -1, "exit nonzero unless at least this many cells arrived as enhancement-only deltas AND their wire bytes undercut a full re-send (-1 = no gate)")
+	minCacheHits := flag.Int64("min-cache-hits", -1, "exit nonzero unless the self-host encode tier recorded at least this many hits (-1 = no gate)")
 	minBreaches := flag.Int64("min-breaches", -1, "exit nonzero unless total SLO breaches >= this (-1 = no gate)")
 	maxBreaches := flag.Int64("max-breaches", -1, "exit nonzero when total SLO breaches > this (-1 = no gate)")
 	requireLiveQuantiles := flag.Bool("require-live-quantiles", false, "exit nonzero unless the scraped windowed quantiles changed across two scrapes")
@@ -370,6 +394,7 @@ func main() {
 				Scene:     uint32(i % *sessions),
 				Trace:     study.Traces[i%len(study.Traces)],
 				Decode:    *decode,
+				Layers:    *layersOn,
 				Reconnect: true,
 				OnFrameLatency: func(d time.Duration) {
 					latencies[i] = append(latencies[i], float64(d)/float64(time.Millisecond))
@@ -433,6 +458,54 @@ func main() {
 				}
 			}
 		}(i)
+	}
+
+	// Tier-upgrade probes: one layered pull client per scene holds a
+	// coarse prefix for the first half of the run, then requests full
+	// density — with looped static content the upgrade must come back as
+	// enhancement-only deltas, the scenario make layer-smoke gates.
+	var probeMu sync.Mutex
+	var probeStats []transport.ClientStats
+	var probeErrs int64
+	if *probeUpgrade {
+		fpsEff := *fps
+		if fpsEff <= 0 {
+			fpsEff = 30
+		}
+		// Flip after one second of content frames, not at half-duration: a
+		// probe pacing below the content rate under load still reaches the
+		// flip with most of the run left to ship and verify the deltas.
+		flip := uint32(fpsEff)
+		coarse := uint8(*probeStride)
+		for s := 0; s < *sessions; s++ {
+			wg.Add(1)
+			go func(scene int) {
+				defer wg.Done()
+				ps, err := transport.RunPullClient(ctx, transport.PullClientConfig{
+					Addr:     target,
+					ID:       uint32(10_000 + scene),
+					Scene:    uint32(scene),
+					Trace:    study.Traces[scene%len(study.Traces)],
+					Duration: *duration,
+					Stride:   coarse,
+					Decode:   true,
+					Layers:   true,
+					StrideAt: func(frame uint32) uint8 {
+						if frame >= flip {
+							return 1
+						}
+						return coarse
+					},
+				})
+				probeMu.Lock()
+				probeStats = append(probeStats, ps)
+				if err != nil {
+					probeErrs++
+				}
+				probeMu.Unlock()
+			}(s)
+		}
+		log.Printf("volload: %d layered upgrade probes, stride %d → 1 at frame %d", *sessions, *probeStride, flip)
 	}
 
 	// Scrape loop: poll /sessions during the run so the report can attest
@@ -535,6 +608,31 @@ func main() {
 		rep.Joins += joins[i]
 		rep.ClientErrors += errs[i]
 		all = append(all, latencies[i]...)
+	}
+	if *layersOn || *probeUpgrade {
+		ls := &layerStats{}
+		for i := range stats {
+			ls.DeltaCells += int64(stats[i].DeltaCells)
+			ls.DeltaBytes += stats[i].DeltaBytes
+			ls.DeltaFullBytes += stats[i].DeltaFullBytes
+		}
+		probeMu.Lock()
+		ls.Probes = len(probeStats)
+		for i := range probeStats {
+			ls.ProbeFrames += int64(probeStats[i].Frames)
+			ls.ProbeDropped += int64(probeStats[i].FramesDropped)
+			ls.ProbeCells += int64(probeStats[i].Cells)
+			ls.DeltaCells += int64(probeStats[i].DeltaCells)
+			ls.DeltaBytes += probeStats[i].DeltaBytes
+			ls.DeltaFullBytes += probeStats[i].DeltaFullBytes
+			rep.DecodeErrors += int64(probeStats[i].DecodeErrors)
+		}
+		rep.ClientErrors += probeErrs
+		probeMu.Unlock()
+		if ls.DeltaFullBytes > 0 {
+			ls.SavingsFrac = 1 - float64(ls.DeltaBytes)/float64(ls.DeltaFullBytes)
+		}
+		rep.Layers = ls
 	}
 	sort.Float64s(all)
 	rep.Latency = latencyStats{
@@ -663,6 +761,30 @@ func main() {
 	if *requireLiveQuantiles {
 		if rep.SLO == nil || rep.SLO.Scrapes < 2 || !rep.SLO.QuantilesLive {
 			log.Fatal("volload: FAILED: windowed quantiles did not change across two /sessions scrapes")
+		}
+	}
+	// Layered-serving gates: upgrades must actually travel as deltas, the
+	// deltas must undercut a full re-send, and (self-host) the shared
+	// encode tier must have been hit — the one-encode-serves-every-tier
+	// evidence make layer-smoke pins.
+	if *minDeltaCells >= 0 {
+		var ls layerStats
+		if rep.Layers != nil {
+			ls = *rep.Layers
+		}
+		if ls.DeltaCells < *minDeltaCells {
+			log.Fatalf("volload: FAILED: %d delta cells < -min-delta-cells %d", ls.DeltaCells, *minDeltaCells)
+		}
+		if ls.DeltaCells > 0 && ls.DeltaBytes >= ls.DeltaFullBytes {
+			log.Fatalf("volload: FAILED: delta bytes %d did not undercut full re-send bytes %d", ls.DeltaBytes, ls.DeltaFullBytes)
+		}
+	}
+	if *minCacheHits >= 0 {
+		if rep.Cache == nil {
+			log.Fatal("volload: FAILED: -min-cache-hits needs a self-hosted hub (cache stats unavailable)")
+		}
+		if rep.Cache.EncodeHits < *minCacheHits {
+			log.Fatalf("volload: FAILED: %d encode-tier hits < -min-cache-hits %d", rep.Cache.EncodeHits, *minCacheHits)
 		}
 	}
 }

@@ -211,6 +211,39 @@ func TestControllerQuality(t *testing.T) {
 	}
 }
 
+func TestControllerUpgradeDeltaCosting(t *testing.T) {
+	c := NewController(Config{})
+	// Prediction covers current demand plus the enhancement delta, but
+	// not a full re-send of the next rung: flat content must hold, layered
+	// content (delta known) must upgrade.
+	s := State{
+		PredictedMbps: 400, DemandMbps: 280, NextUpDemandMbps: 360,
+		BufferLevel: 1.5, BufferCapacity: 2, GroupEfficiency: 1,
+	}
+	// 360 * 1.2 headroom = 432 > 400: full costing refuses.
+	if got := c.Decide(s); got != ActionNone {
+		t.Errorf("full-cost upgrade = %v, want none", got)
+	}
+	// Delta costing: (280 + 40) * 1.2 = 384 <= 400: upgrade.
+	s.UpgradeDeltaMbps = 40
+	if got := c.Decide(s); got != ActionQualityUp {
+		t.Errorf("delta-cost upgrade = %v, want quality-up", got)
+	}
+	// A delta pricier than the full rung never raises the bar above the
+	// full re-send cost.
+	s.UpgradeDeltaMbps = 200
+	s.PredictedMbps = 435 // clears 360*1.2 = 432, not (280+200)*1.2
+	if got := c.Decide(s); got != ActionQualityUp {
+		t.Errorf("oversized delta upgrade = %v, want quality-up (full-cost cap)", got)
+	}
+	// Delta costing never bypasses the buffer-safety gate.
+	s.UpgradeDeltaMbps = 40
+	s.BufferLevel = 0.8
+	if got := c.Decide(s); got != ActionNone {
+		t.Errorf("unsafe-buffer delta upgrade = %v, want none", got)
+	}
+}
+
 func TestControllerRegroup(t *testing.T) {
 	c := NewController(Config{})
 	s := State{

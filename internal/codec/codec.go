@@ -17,8 +17,15 @@ import (
 // Magic identifies an encoded cell block ("VC" for volcast).
 const Magic uint16 = 0x5643
 
-// Version is the current block format version.
+// Version is the current flat (single-layer) block format version.
 const Version uint8 = 2
+
+// VersionLayered is the layered block format version: a base layer plus
+// enhancement layers, each adding one bit of octree depth, where any
+// prefix of layers decodes on its own (see layered.go). The decoder
+// dispatches on the version byte, so flat and layered blocks coexist on
+// the wire.
+const VersionLayered uint8 = 3
 
 // Position-coding modes within a block.
 const (
@@ -29,6 +36,10 @@ const (
 	// ModeOctreeAC is occupancy coding with context-adaptive binary
 	// range coding (the full G-PCC-style position coder).
 	ModeOctreeAC uint8 = 2
+	// ModeLayered is the nested base+enhancement bitstream of
+	// VersionLayered blocks: per-level occupancy slices plus color
+	// residuals, decodable at any layer prefix.
+	ModeLayered uint8 = 3
 )
 
 // Errors returned by the decoder.
@@ -81,6 +92,12 @@ type Params struct {
 	// Auto encodes each cell every way and keeps the smallest block
 	// (≈3× encode cost, always-optimal size). Overrides Octree.
 	Auto bool
+	// Layers, when > 0, selects the layered progressive format
+	// (VersionLayered): one encode yields a base layer at octree depth
+	// QuantBits-Layers+1 plus Layers-1 enhancement layers of one extra
+	// depth bit each, any prefix of which decodes on its own. Layers is
+	// clamped to QuantBits. Overrides Octree/Arithmetic/Auto.
+	Layers uint8
 }
 
 // DefaultParams returns the encoder configuration used throughout the
@@ -92,10 +109,93 @@ func DefaultParams() Params { return Params{QuantBits: 10} }
 type Block struct {
 	CellID cell.ID
 	// NumPoints is the decoded point count (also recoverable from Data).
+	// For layered blocks this is the full-prefix count; coarser tiers
+	// decode fewer points (see LayerPoints).
 	NumPoints int
 	// Data is the encoded payload including header and checksum.
 	Data []byte
+	// LayerOffsets, for layered blocks, holds the cumulative end offset
+	// in Data of each layer's segment: Data[:LayerOffsets[t]] is the
+	// self-contained decodable prefix of t+1 layers. The final entry is
+	// len(Data). Nil for flat (Version 2) blocks.
+	LayerOffsets []int
+	// LayerPoints, parallel to LayerOffsets, is the decoded point count
+	// of each layer prefix; the final entry equals NumPoints.
+	LayerPoints []int
 }
 
 // Size returns the encoded size in bytes.
 func (b *Block) Size() int { return len(b.Data) }
+
+// Layers returns the number of decodable layer prefixes: 1 for flat
+// blocks, the encode-time layer count for layered blocks.
+func (b *Block) Layers() int {
+	if len(b.LayerOffsets) == 0 {
+		return 1
+	}
+	return len(b.LayerOffsets)
+}
+
+// clampLayers maps a requested prefix length onto [1, Layers()].
+func (b *Block) clampLayers(layers int) int {
+	if layers < 1 {
+		return 1
+	}
+	if n := b.Layers(); layers > n {
+		return n
+	}
+	return layers
+}
+
+// Prefix returns the decodable prefix of the first `layers` layers,
+// clamped to [1, Layers()]. The slice aliases Data — every tier of one
+// block shares the same backing buffer. Flat blocks return Data whole.
+func (b *Block) Prefix(layers int) []byte {
+	if len(b.LayerOffsets) == 0 {
+		return b.Data
+	}
+	return b.Data[:b.LayerOffsets[b.clampLayers(layers)-1]]
+}
+
+// Delta returns the enhancement bytes that upgrade a held prefix of
+// `from` layers to one of `to` layers — the only bytes a client already
+// holding the `from`-prefix needs. Both arguments clamp to [1, Layers()];
+// from >= to returns nil (no upgrade).
+func (b *Block) Delta(from, to int) []byte {
+	if len(b.LayerOffsets) == 0 {
+		return nil
+	}
+	from, to = b.clampLayers(from), b.clampLayers(to)
+	if from >= to {
+		return nil
+	}
+	return b.Data[b.LayerOffsets[from-1]:b.LayerOffsets[to-1]]
+}
+
+// PointsAtTier returns the decoded point count of the `layers`-prefix,
+// clamped to [1, Layers()]. Flat blocks return NumPoints.
+func (b *Block) PointsAtTier(layers int) int {
+	if len(b.LayerPoints) == 0 {
+		return b.NumPoints
+	}
+	return b.LayerPoints[b.clampLayers(layers)-1]
+}
+
+// TierView returns a Block presenting only the first `layers` layers:
+// its Data is the corresponding prefix of b.Data (shared, not copied —
+// every tier view of a block aliases one buffer) and its point count is
+// the tier's. Requesting every layer (or viewing a flat block) returns b
+// itself.
+func (b *Block) TierView(layers int) *Block {
+	if len(b.LayerOffsets) == 0 || b.clampLayers(layers) == b.Layers() {
+		return b
+	}
+	layers = b.clampLayers(layers)
+	return &Block{
+		CellID:       b.CellID,
+		NumPoints:    b.LayerPoints[layers-1],
+		Data:         b.Data[:b.LayerOffsets[layers-1]],
+		LayerOffsets: b.LayerOffsets[:layers],
+		LayerPoints:  b.LayerPoints[:layers],
+	}
+}

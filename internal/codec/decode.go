@@ -47,20 +47,27 @@ func (d *Decoder) Decode(data []byte) (*DecodedCell, error) {
 	return d.decode(data)
 }
 
-// decode is the uncached decode path.
+// decode is the uncached decode path. It dispatches on the version byte:
+// flat Version-2 blocks carry one trailing checksum, layered Version-3
+// blocks checksum the header and each layer segment separately (so any
+// layer prefix still verifies).
 func (d *Decoder) decode(data []byte) (*DecodedCell, error) {
 	if len(data) < 4+4 {
 		return nil, ErrTruncated
 	}
+	if binary.LittleEndian.Uint16(data) != Magic {
+		return nil, ErrBadMagic
+	}
+	switch data[2] {
+	case Version:
+	case VersionLayered:
+		return d.decodeLayered(data)
+	default:
+		return nil, ErrBadVersion
+	}
 	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if checksum(body) != sum {
 		return nil, ErrChecksum
-	}
-	if binary.LittleEndian.Uint16(body) != Magic {
-		return nil, ErrBadMagic
-	}
-	if body[2] != Version {
-		return nil, ErrBadVersion
 	}
 	qb := uint(body[3])
 	if qb == 0 || qb > 16 {

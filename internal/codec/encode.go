@@ -57,10 +57,15 @@ type Encoder struct {
 // params are replaced by DefaultParams.
 func NewEncoder(p Params) *Encoder {
 	if p.QuantBits == 0 {
+		q := p
 		p = DefaultParams()
+		p.Layers = q.Layers
 	}
 	if p.QuantBits > 16 {
 		p.QuantBits = 16
+	}
+	if p.Layers > p.QuantBits {
+		p.Layers = p.QuantBits
 	}
 	return &Encoder{params: p}
 }
@@ -76,6 +81,21 @@ func (e *Encoder) Cached(c BlockCache) *Encoder {
 	}
 	cp := *e
 	cp.Cache = c
+	return &cp
+}
+
+// Layered returns a copy of the encoder that produces layered blocks of
+// n layers (clamped to QuantBits). n == 0, or an encoder that already
+// requests layering, returns the encoder unchanged.
+func (e *Encoder) Layered(n uint8) *Encoder {
+	if n == 0 || e.params.Layers != 0 {
+		return e
+	}
+	cp := *e
+	cp.params.Layers = n
+	if cp.params.Layers > cp.params.QuantBits {
+		cp.params.Layers = cp.params.QuantBits
+	}
 	return &cp
 }
 
@@ -98,17 +118,15 @@ func (e *Encoder) EncodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 func (e *Encoder) encodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB) *Block {
 	qb := uint(e.params.QuantBits)
 	levels := uint64(1) << qb
-	edge := cellBounds.Size().X
-	if s := cellBounds.Size(); s.Y > edge {
-		edge = s.Y
-	}
-	if s := cellBounds.Size(); s.Z > edge {
-		edge = s.Z
-	}
-	if edge <= 0 {
-		edge = 1e-6
-	}
+	edge := cellEdge(cellBounds)
+	layered := e.params.Layers > 0
 	inv := float64(levels-1) / edge
+	if layered {
+		// The layered coder floor-quantizes on the full [0, levels)
+		// lattice so coarse-tier codes are exact right-shifts of the
+		// full-depth codes (see layered.go).
+		inv = float64(levels) / edge
+	}
 
 	// Quantize each point to a Morton code for locality-friendly deltas.
 	// The sort breaks code ties by source index, making the permutation
@@ -118,19 +136,24 @@ func (e *Encoder) encodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 	qs := *qsp
 	for _, i := range idxs {
 		d := c.Points[i].Pos.Sub(cellBounds.Min)
-		x := quant(d.X*inv, levels)
-		y := quant(d.Y*inv, levels)
-		z := quant(d.Z*inv, levels)
+		var x, y, z uint64
+		if layered {
+			x = quantFloor(d.X*inv, levels)
+			y = quantFloor(d.Y*inv, levels)
+			z = quantFloor(d.Z*inv, levels)
+		} else {
+			x = quant(d.X*inv, levels)
+			y = quant(d.Y*inv, levels)
+			z = quant(d.Z*inv, levels)
+		}
 		qs = append(qs, qpoint{code: morton3(x, y, z, qb), idx: i})
 	}
 	*qsp = qs
-	slices.SortFunc(qs, func(a, b qpoint) int {
-		if c := cmp.Compare(a.code, b.code); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.idx, b.idx)
-	})
+	sortQpoints(qs)
 
+	if layered {
+		return encodeLayered(e.params, id, c, qs, cellBounds, edge)
+	}
 	if e.params.Auto {
 		best := []byte(nil)
 		for _, variant := range []Params{
@@ -152,6 +175,18 @@ func (e *Encoder) encodeCell(id cell.ID, c *pointcloud.Cloud, idxs []int, cellBo
 		return &Block{CellID: id, NumPoints: len(qs), Data: best}
 	}
 	return &Block{CellID: id, NumPoints: len(qs), Data: encodeSorted(e.params, id, c, qs, cellBounds, edge)}
+}
+
+// sortQpoints orders quantized points by (code, idx): Morton order with
+// source index breaking ties, the canonical permutation both coders and
+// TierPoints share.
+func sortQpoints(qs []qpoint) {
+	slices.SortFunc(qs, func(a, b qpoint) int {
+		if c := cmp.Compare(a.code, b.code); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 }
 
 // encodeSorted serializes one block's bytes from the already quantized and

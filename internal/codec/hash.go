@@ -73,7 +73,10 @@ func (e *Encoder) cellKey(id cell.ID, c *pointcloud.Cloud, idxs []int, b geom.AA
 	if e.params.Auto {
 		flags |= 4
 	}
-	h.word(uint64(e.params.QuantBits) | flags<<8 | uint64(id)<<16)
+	// Layers occupies bits 11..15 (<= 16 after clamping), so one layered
+	// encode-tier entry serves every tier of the cell while flat keys
+	// (Layers == 0) keep their historical values.
+	h.word(uint64(e.params.QuantBits) | flags<<8 | uint64(e.params.Layers)<<11 | uint64(id)<<16)
 	h.word(math.Float64bits(b.Min.X))
 	h.word(math.Float64bits(b.Min.Y))
 	h.word(math.Float64bits(b.Min.Z))

@@ -1,0 +1,750 @@
+package codec
+
+// Layered progressive blocks (VersionLayered): one encode yields a base
+// layer plus enhancement layers, nested so that the byte prefix of any
+// t+1 leading layers is a self-contained decodable block — the
+// point-cloud analog of SHVC output layer sets. Layer t covers octree
+// depth d_t = quantBits-(L-1)+t: the base layer carries the occupancy
+// tree to depth d_0 plus one representative color per node, and each
+// enhancement layer refines every node by one depth bit (one occupancy
+// byte per parent) plus color residuals for the newly split children.
+// The final layer additionally carries duplicate counts and residuals so
+// the full prefix reproduces every input point exactly as a flat encode
+// would.
+//
+// Layered block layout (little-endian; varints as in the flat format):
+//
+//	magic     uint16
+//	version   uint8 = VersionLayered
+//	quantBits uint8
+//	mode      uint8 = ModeLayered
+//	layers    uint8          (L, 1..quantBits)
+//	cellID    uvarint
+//	numPoints uvarint        (full-prefix point count)
+//	origin    3 × float32
+//	edge      float32
+//	segLen    L × uvarint    (segment byte length, incl. its crc32)
+//	crc32     uint32         (IEEE, over the header above)
+//	segment   L × (payload ‖ crc32 over that payload)
+//
+// Segment payloads (colors planar decorrelated (G, R-G, B-G) with the
+// flat format's zero-run RLE):
+//
+//	base:    DFS occupancy bytes to depth d_0 over the node codes, then
+//	         per-node representative colors, delta-coded.
+//	enh t:   one occupancy byte per depth d_{t-1} node (Morton order,
+//	         never zero), then color residuals vs. the parent's
+//	         representative for every non-first child (zigzag, no delta
+//	         chaining). The first child inherits the parent color — the
+//	         representative is always the node's first full-depth point,
+//	         so that residual is zero by construction and elided.
+//	final:   the last segment appends a duplicate flag byte and, when
+//	         set, per-node uvarint count-1 values plus color residuals
+//	         for every duplicate vs. its node representative.
+//
+// Positions quantize by flooring (u = ⌊d·2^qb/edge⌋, clamped) and decode
+// to voxel centers (origin + (u+0.5)·edge/2^depth). Flooring makes code
+// truncation commute with coarse quantization exactly — the code of a
+// point at depth d_t is its full-depth code shifted right by 3(L-1-t) —
+// which is what makes a layer prefix decode byte-identical to an
+// independent encode at that tier's depth (see TierPoints).
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"volcast/internal/cell"
+	"volcast/internal/geom"
+	"volcast/internal/pointcloud"
+)
+
+// quantFloor floor-quantizes v (already scaled by levels/edge) onto
+// [0, levels-1]. Flooring, unlike rounding, commutes with right-shifting
+// the resulting code — the property layer prefixes rely on.
+func quantFloor(v float64, levels uint64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	u := uint64(v)
+	if u >= levels {
+		u = levels - 1
+	}
+	return u
+}
+
+// cellEdge returns the quantization edge of a cell: the largest AABB
+// dimension, floored away from zero.
+func cellEdge(cellBounds geom.AABB) float64 {
+	s := cellBounds.Size()
+	edge := s.X
+	if s.Y > edge {
+		edge = s.Y
+	}
+	if s.Z > edge {
+		edge = s.Z
+	}
+	if edge <= 0 {
+		edge = 1e-6
+	}
+	return edge
+}
+
+// encodeLayered serializes the layered block from the floor-quantized,
+// (code, idx)-sorted points. Parameters are assumed clamped (NewEncoder):
+// 1 <= Layers <= QuantBits <= 16.
+func encodeLayered(p Params, id cell.ID, c *pointcloud.Cloud, qs []qpoint, cellBounds geom.AABB, edge float64) *Block {
+	qb := uint(p.QuantBits)
+	L := int(p.Layers)
+
+	// Deduplicate full-depth codes; firstQ holds the qs index of each
+	// node's representative (its first point in (code, idx) order).
+	up, cp := getU64(len(qs)), getU64(len(qs))
+	defer func() { putU64(up); putU64(cp) }()
+	uniques, counts := *up, *cp
+	firstQ := make([]int, 0, len(qs))
+	hasDup := false
+	for i := 0; i < len(qs); {
+		j := i
+		for j < len(qs) && qs[j].code == qs[i].code {
+			j++
+		}
+		uniques = append(uniques, qs[i].code)
+		counts = append(counts, uint64(j-i))
+		firstQ = append(firstQ, i)
+		if j-i > 1 {
+			hasDup = true
+		}
+		i = j
+	}
+	*up, *cp = uniques, counts
+	U := len(uniques)
+
+	// starts[t][i] is the uniques index where the i-th depth-d_t node
+	// begins; coarser tiers group finer ones by dropping 3 code bits.
+	starts := make([][]int, L)
+	full := make([]int, U)
+	for i := range full {
+		full[i] = i
+	}
+	starts[L-1] = full
+	for t := L - 2; t >= 0; t-- {
+		shift := uint(3 * (L - 1 - t))
+		s := make([]int, 0, len(starts[t+1]))
+		for _, ui := range starts[t+1] {
+			if len(s) == 0 || uniques[ui]>>shift != uniques[s[len(s)-1]]>>shift {
+				s = append(s, ui)
+			}
+		}
+		starts[t] = s
+	}
+
+	rep := func(ui int) pointcloud.Point { return c.Points[qs[firstQ[ui]].idx] }
+
+	seg := getBuf(16 + len(qs)*6)
+	defer putBuf(seg)
+	segEnds := make([]int, L)
+	layerPts := make([]int, L)
+
+	// Base segment: occupancy tree to d_0 plus absolute rep colors.
+	segStart := 0
+	{
+		base := starts[0]
+		cg := getU64(len(base))
+		codes0 := *cg
+		shift := uint(3 * (L - 1))
+		for _, ui := range base {
+			codes0 = append(codes0, uniques[ui]>>shift)
+		}
+		seg = octreeEncode(seg, codes0, qb-uint(L-1))
+		*cg = codes0
+		putU64(cg)
+		for ch := 0; ch < 3; ch++ {
+			var prev int64
+			var zrun uint64
+			for _, ui := range base {
+				v := colorChannel(rep(ui), ch)
+				d := zigzag(v - prev)
+				prev = v
+				if d == 0 {
+					zrun++
+					continue
+				}
+				seg = flushZeroRun(seg, &zrun)
+				seg = binary.AppendUvarint(seg, d)
+			}
+			seg = flushZeroRun(seg, &zrun)
+		}
+		layerPts[0] = len(base)
+		if L == 1 {
+			seg = appendDupExtras(seg, c, qs, uniques, counts, firstQ, hasDup)
+			layerPts[0] = len(qs)
+		}
+		seg = binary.LittleEndian.AppendUint32(seg, checksum(seg[segStart:]))
+		segEnds[0] = len(seg)
+	}
+
+	// Enhancement segments: per-parent occupancy byte, then residual
+	// colors for the non-first children.
+	for t := 1; t < L; t++ {
+		segStart = len(seg)
+		parents, children := starts[t-1], starts[t]
+		shift := uint(3 * (L - 1 - t))
+		ci := 0
+		for pi := range parents {
+			pe := U
+			if pi+1 < len(parents) {
+				pe = parents[pi+1]
+			}
+			var occ byte
+			for ci < len(children) && children[ci] < pe {
+				occ |= 1 << ((uniques[children[ci]] >> shift) & 7)
+				ci++
+			}
+			seg = append(seg, occ)
+		}
+		for ch := 0; ch < 3; ch++ {
+			var zrun uint64
+			ci = 0
+			for pi, ps := range parents {
+				pe := U
+				if pi+1 < len(parents) {
+					pe = parents[pi+1]
+				}
+				pv := colorChannel(rep(ps), ch)
+				first := true
+				for ci < len(children) && children[ci] < pe {
+					if first {
+						first = false
+						ci++
+						continue
+					}
+					d := zigzag(colorChannel(rep(children[ci]), ch) - pv)
+					ci++
+					if d == 0 {
+						zrun++
+						continue
+					}
+					seg = flushZeroRun(seg, &zrun)
+					seg = binary.AppendUvarint(seg, d)
+				}
+			}
+			seg = flushZeroRun(seg, &zrun)
+		}
+		layerPts[t] = len(children)
+		if t == L-1 {
+			seg = appendDupExtras(seg, c, qs, uniques, counts, firstQ, hasDup)
+			layerPts[t] = len(qs)
+		}
+		seg = binary.LittleEndian.AppendUint32(seg, checksum(seg[segStart:]))
+		segEnds[t] = len(seg)
+	}
+
+	hdr := getBuf(32 + 5*L)
+	defer putBuf(hdr)
+	hdr = binary.LittleEndian.AppendUint16(hdr, Magic)
+	hdr = append(hdr, VersionLayered, p.QuantBits, ModeLayered, byte(L))
+	hdr = binary.AppendUvarint(hdr, uint64(id))
+	hdr = binary.AppendUvarint(hdr, uint64(len(qs)))
+	hdr = appendFloat32(hdr, cellBounds.Min.X)
+	hdr = appendFloat32(hdr, cellBounds.Min.Y)
+	hdr = appendFloat32(hdr, cellBounds.Min.Z)
+	hdr = appendFloat32(hdr, edge)
+	prev := 0
+	for t := 0; t < L; t++ {
+		hdr = binary.AppendUvarint(hdr, uint64(segEnds[t]-prev))
+		prev = segEnds[t]
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, checksum(hdr))
+
+	data := make([]byte, 0, len(hdr)+len(seg))
+	data = append(data, hdr...)
+	data = append(data, seg...)
+	offsets := make([]int, L)
+	for t := range segEnds {
+		offsets[t] = len(hdr) + segEnds[t]
+	}
+	return &Block{CellID: id, NumPoints: len(qs), Data: data, LayerOffsets: offsets, LayerPoints: layerPts}
+}
+
+// appendDupExtras emits the final layer's duplicate stream: a flag byte
+// and, when duplicates exist, per-node count-1 values plus color
+// residuals of every duplicate vs. its node representative.
+func appendDupExtras(seg []byte, c *pointcloud.Cloud, qs []qpoint, uniques, counts []uint64, firstQ []int, hasDup bool) []byte {
+	if len(qs) == 0 {
+		return seg
+	}
+	if !hasDup {
+		return append(seg, 0)
+	}
+	seg = append(seg, 1)
+	for _, cnt := range counts {
+		seg = binary.AppendUvarint(seg, cnt-1)
+	}
+	for ch := 0; ch < 3; ch++ {
+		var zrun uint64
+		for ui := range uniques {
+			rv := colorChannel(c.Points[qs[firstQ[ui]].idx], ch)
+			for j := firstQ[ui] + 1; j < firstQ[ui]+int(counts[ui]); j++ {
+				d := zigzag(colorChannel(c.Points[qs[j].idx], ch) - rv)
+				if d == 0 {
+					zrun++
+					continue
+				}
+				seg = flushZeroRun(seg, &zrun)
+				seg = binary.AppendUvarint(seg, d)
+			}
+		}
+		seg = flushZeroRun(seg, &zrun)
+	}
+	return seg
+}
+
+// residReader streams zigzag residual symbols with zero-run RLE (the 0
+// symbol introduces a run length, as in the flat color coder).
+type residReader struct {
+	p   []byte
+	run uint64
+}
+
+func (r *residReader) next() (int64, error) {
+	if r.run > 0 {
+		r.run--
+		return 0, nil
+	}
+	u, n := binary.Uvarint(r.p)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.p = r.p[n:]
+	if u == 0 {
+		c, n := binary.Uvarint(r.p)
+		if n <= 0 || c == 0 {
+			return 0, ErrTruncated
+		}
+		r.p = r.p[n:]
+		r.run = c - 1
+		return 0, nil
+	}
+	return unzigzag(u), nil
+}
+
+// done fails when a zero run claimed more symbols than were consumed.
+func (r *residReader) done() error {
+	if r.run != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// decodeLayered decodes a layered block or any whole-segment prefix of
+// one. Magic and version have already been checked by the dispatcher;
+// data still includes them.
+func (d *Decoder) decodeLayered(data []byte) (*DecodedCell, error) {
+	if len(data) < 6 {
+		return nil, ErrTruncated
+	}
+	qb := uint(data[3])
+	if qb == 0 || qb > 16 {
+		return nil, ErrBadGeometry
+	}
+	if data[4] != ModeLayered {
+		return nil, ErrBadGeometry
+	}
+	L := int(data[5])
+	if L < 1 || L > int(qb) {
+		return nil, ErrBadGeometry
+	}
+	p := data[6:]
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	if len(p) < 16 {
+		return nil, ErrTruncated
+	}
+	origin := geom.V(readFloat32(p[0:]), readFloat32(p[4:]), readFloat32(p[8:]))
+	edge := readFloat32(p[12:])
+	p = p[16:]
+	if edge <= 0 || math.IsNaN(edge) || math.IsInf(edge, 0) {
+		return nil, ErrBadGeometry
+	}
+	N := int(count)
+	segLens := make([]int, L)
+	for t := range segLens {
+		v, vn := binary.Uvarint(p)
+		if vn <= 0 || v < 4 || v > uint64(len(data)) {
+			return nil, ErrTruncated
+		}
+		p = p[vn:]
+		segLens[t] = int(v)
+	}
+	if len(p) < 4 {
+		return nil, ErrTruncated
+	}
+	hdrLen := len(data) - len(p) + 4
+	if checksum(data[:hdrLen-4]) != binary.LittleEndian.Uint32(p) {
+		return nil, ErrChecksum
+	}
+
+	// The supplied bytes must end exactly on a segment boundary; the
+	// boundary index is the number of layers this prefix carries.
+	k, off := 0, hdrLen
+	for t := 0; t < L; t++ {
+		off += segLens[t]
+		if off == len(data) {
+			k = t + 1
+			break
+		}
+		if off > len(data) {
+			break
+		}
+	}
+	if k == 0 {
+		return nil, ErrTruncated
+	}
+
+	out := &DecodedCell{CellID: cell.ID(id)}
+	segment := func(t int) ([]byte, error) {
+		start := hdrLen
+		for i := 0; i < t; i++ {
+			start += segLens[i]
+		}
+		s := data[start : start+segLens[t]]
+		pay, sum := s[:len(s)-4], binary.LittleEndian.Uint32(s[len(s)-4:])
+		if checksum(pay) != sum {
+			return nil, ErrChecksum
+		}
+		return pay, nil
+	}
+
+	if N == 0 {
+		// Degenerate empty cell: every segment is just its checksum.
+		for t := 0; t < k; t++ {
+			pay, err := segment(t)
+			if err != nil {
+				return nil, err
+			}
+			if len(pay) != 0 {
+				return nil, ErrTruncated
+			}
+		}
+		out.Points = []pointcloud.Point{}
+		return out, nil
+	}
+
+	// Ping-pong node codes and unclamped decorrelated color channels
+	// between two pooled buffers as each segment refines them.
+	codeBuf := [2]*[]uint64{getU64(N), getU64(N)}
+	chanBuf := [2][3]*[]int64{
+		{getI64(N), getI64(N), getI64(N)},
+		{getI64(N), getI64(N), getI64(N)},
+	}
+	defer func() {
+		putU64(codeBuf[0])
+		putU64(codeBuf[1])
+		for s := 0; s < 2; s++ {
+			for ch := 0; ch < 3; ch++ {
+				putI64(chanBuf[s][ch])
+			}
+		}
+	}()
+	cur := 0
+
+	// Base segment.
+	pay, err := segment(0)
+	if err != nil {
+		return nil, err
+	}
+	rest, codes, ok := octreeDecodeBounded(pay, N, qb-uint(L-1), (*codeBuf[0])[:0])
+	if !ok {
+		return nil, ErrTruncated
+	}
+	*codeBuf[0] = codes
+	pay = rest
+	np := len(codes)
+	for ch := 0; ch < 3; ch++ {
+		vals := (*chanBuf[0][ch])[:N]
+		var prev int64
+		i := 0
+		for i < np {
+			u, un := binary.Uvarint(pay)
+			if un <= 0 {
+				return nil, ErrTruncated
+			}
+			pay = pay[un:]
+			if u == 0 {
+				run, rn := binary.Uvarint(pay)
+				if rn <= 0 || run == 0 || uint64(np-i) < run {
+					return nil, ErrTruncated
+				}
+				pay = pay[rn:]
+				for j := uint64(0); j < run; j++ {
+					vals[i] = prev
+					i++
+				}
+				continue
+			}
+			prev += unzigzag(u)
+			vals[i] = prev
+			i++
+		}
+	}
+
+	// Enhancement segments 1..k-1 refine codes and colors in place.
+	for t := 1; t < k; t++ {
+		if len(pay) != 0 {
+			return nil, ErrTruncated
+		}
+		if pay, err = segment(t); err != nil {
+			return nil, err
+		}
+		if len(pay) < np {
+			return nil, ErrTruncated
+		}
+		occ := pay[:np]
+		pay = pay[np:]
+		nc := 0
+		for _, o := range occ {
+			if o == 0 {
+				return nil, ErrTruncated
+			}
+			nc += bits.OnesCount8(o)
+		}
+		if nc > N {
+			return nil, ErrTruncated
+		}
+		nxt := 1 - cur
+		ncodes := (*codeBuf[nxt])[:0]
+		for pi, o := range occ {
+			base := codes[pi] << 3
+			for digit := uint64(0); digit < 8; digit++ {
+				if o&(1<<digit) != 0 {
+					ncodes = append(ncodes, base|digit)
+				}
+			}
+		}
+		*codeBuf[nxt] = ncodes
+		for ch := 0; ch < 3; ch++ {
+			oldv := (*chanBuf[cur][ch])[:np]
+			newv := (*chanBuf[nxt][ch])[:N]
+			rd := residReader{p: pay}
+			ci := 0
+			for pi, o := range occ {
+				pv := oldv[pi]
+				first := true
+				for digit := 0; digit < 8; digit++ {
+					if o&(1<<digit) == 0 {
+						continue
+					}
+					if first {
+						newv[ci] = pv
+						first = false
+						ci++
+						continue
+					}
+					resid, err := rd.next()
+					if err != nil {
+						return nil, err
+					}
+					newv[ci] = pv + resid
+					ci++
+				}
+			}
+			if err := rd.done(); err != nil {
+				return nil, err
+			}
+			pay = rd.p
+		}
+		codes = ncodes
+		np = nc
+		cur = nxt
+	}
+
+	depth := qb - uint(L-k)
+	scale := edge / float64(uint64(1)<<depth)
+	chans := chanBuf[cur]
+
+	if k < L {
+		// Tier prefix: one point per node, voxel-center positions.
+		if len(pay) != 0 {
+			return nil, ErrTruncated
+		}
+		out.Points = make([]pointcloud.Point, np)
+		g, rg, bg := (*chans[0])[:np], (*chans[1])[:np], (*chans[2])[:np]
+		for i, code := range codes {
+			x, y, z := demorton3(code, depth)
+			out.Points[i].Pos = origin.Add(geom.V(
+				(float64(x)+0.5)*scale, (float64(y)+0.5)*scale, (float64(z)+0.5)*scale))
+			out.Points[i].G = uint8(clampI64(g[i], 0, 255))
+			out.Points[i].R = uint8(clampI64(g[i]+rg[i], 0, 255))
+			out.Points[i].B = uint8(clampI64(g[i]+bg[i], 0, 255))
+		}
+		return out, nil
+	}
+
+	// Full prefix: expand duplicates so every input point comes back.
+	if len(pay) < 1 {
+		return nil, ErrTruncated
+	}
+	dupFlag := pay[0]
+	pay = pay[1:]
+	U := np
+	countsP := getU64(U)
+	defer putU64(countsP)
+	counts := (*countsP)[:0]
+	if dupFlag == 0 {
+		if U != N || len(pay) != 0 {
+			return nil, ErrTruncated
+		}
+		out.Points = make([]pointcloud.Point, N)
+		g, rg, bg := (*chans[0])[:U], (*chans[1])[:U], (*chans[2])[:U]
+		for i, code := range codes {
+			x, y, z := demorton3(code, depth)
+			out.Points[i].Pos = origin.Add(geom.V(
+				(float64(x)+0.5)*scale, (float64(y)+0.5)*scale, (float64(z)+0.5)*scale))
+			out.Points[i].G = uint8(clampI64(g[i], 0, 255))
+			out.Points[i].R = uint8(clampI64(g[i]+rg[i], 0, 255))
+			out.Points[i].B = uint8(clampI64(g[i]+bg[i], 0, 255))
+		}
+		return out, nil
+	}
+	if dupFlag != 1 {
+		return nil, ErrTruncated
+	}
+	var total uint64
+	for i := 0; i < U; i++ {
+		c, cn := binary.Uvarint(pay)
+		if cn <= 0 || c >= uint64(N) {
+			return nil, ErrTruncated
+		}
+		pay = pay[cn:]
+		counts = append(counts, c+1)
+		total += c + 1
+	}
+	*countsP = counts
+	if total != uint64(N) {
+		return nil, ErrTruncated
+	}
+	out.Points = make([]pointcloud.Point, N)
+	starts := make([]int, U)
+	g, rg, bg := (*chans[0])[:U], (*chans[1])[:U], (*chans[2])[:U]
+	pi := 0
+	for i, code := range codes {
+		starts[i] = pi
+		x, y, z := demorton3(code, depth)
+		pos := origin.Add(geom.V(
+			(float64(x)+0.5)*scale, (float64(y)+0.5)*scale, (float64(z)+0.5)*scale))
+		for r := uint64(0); r < counts[i]; r++ {
+			out.Points[pi].Pos = pos
+			pi++
+		}
+		out.Points[starts[i]].G = uint8(clampI64(g[i], 0, 255))
+		out.Points[starts[i]].R = uint8(clampI64(g[i]+rg[i], 0, 255))
+		out.Points[starts[i]].B = uint8(clampI64(g[i]+bg[i], 0, 255))
+	}
+	// Duplicate colors: residuals vs. the node representative, planar.
+	dgP := getI64(N - U)
+	defer putI64(dgP)
+	dg := *dgP
+	for ch := 0; ch < 3; ch++ {
+		rd := residReader{p: pay}
+		di := 0
+		for i := 0; i < U; i++ {
+			var rv int64
+			switch ch {
+			case 0:
+				rv = g[i]
+			case 1:
+				rv = rg[i]
+			default:
+				rv = bg[i]
+			}
+			for j := 1; j < int(counts[i]); j++ {
+				resid, err := rd.next()
+				if err != nil {
+					return nil, err
+				}
+				v := rv + resid
+				idx := starts[i] + j
+				switch ch {
+				case 0:
+					dg[di] = v
+					out.Points[idx].G = uint8(clampI64(v, 0, 255))
+				case 1:
+					out.Points[idx].R = uint8(clampI64(dg[di]+v, 0, 255))
+				default:
+					out.Points[idx].B = uint8(clampI64(dg[di]+v, 0, 255))
+				}
+				di++
+			}
+		}
+		if err := rd.done(); err != nil {
+			return nil, err
+		}
+		pay = rd.p
+	}
+	if len(pay) != 0 {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}
+
+// TierPoints returns the point set a layer prefix represents: one
+// representative per occupied octree node at the tier's depth, carrying
+// its original (unquantized) position and color. The representative is
+// the node's first point in (code, idx) order. An independent
+// single-layer encode (Params{QuantBits: d_t, Layers: 1}) of this set
+// over the same bounds decodes byte-identically to the corresponding
+// layer prefix — the parity contract the experiments pin. layers clamps
+// to [1, Layers]; at the top tier the original point set (duplicates
+// included) comes back.
+func (e *Encoder) TierPoints(c *pointcloud.Cloud, idxs []int, cellBounds geom.AABB, layers int) []pointcloud.Point {
+	L := int(e.params.Layers)
+	if L < 1 {
+		L = 1
+	}
+	if layers < 1 {
+		layers = 1
+	}
+	if layers > L {
+		layers = L
+	}
+	qb := uint(e.params.QuantBits)
+	levels := uint64(1) << qb
+	edge := cellEdge(cellBounds)
+	inv := float64(levels) / edge
+	qsp := getQpoints(len(idxs))
+	defer putQpoints(qsp)
+	qs := *qsp
+	for _, i := range idxs {
+		d := c.Points[i].Pos.Sub(cellBounds.Min)
+		x := quantFloor(d.X*inv, levels)
+		y := quantFloor(d.Y*inv, levels)
+		z := quantFloor(d.Z*inv, levels)
+		qs = append(qs, qpoint{code: morton3(x, y, z, qb), idx: i})
+	}
+	*qsp = qs
+	sortQpoints(qs)
+	if layers == L {
+		out := make([]pointcloud.Point, len(qs))
+		for i, q := range qs {
+			out[i] = c.Points[q.idx]
+		}
+		return out
+	}
+	shift := uint(3 * (L - layers))
+	out := make([]pointcloud.Point, 0, len(qs))
+	for i := 0; i < len(qs); i++ {
+		if i == 0 || qs[i].code>>shift != qs[i-1].code>>shift {
+			out = append(out, c.Points[qs[i].idx])
+		}
+	}
+	return out
+}

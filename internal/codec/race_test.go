@@ -1,0 +1,7 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing assertions loosen under it.
+const raceEnabled = true

@@ -590,6 +590,7 @@ func (h *Hub) buildSession(scene uint32) (*session, error) {
 	s.cDropsSlow = h.cfg.Metrics.Counter(prefix + "drops.slowclient")
 	s.cPullHits = h.cfg.Metrics.Counter(prefix + "pull.hits")
 	s.cPullMisses = h.cfg.Metrics.Counter(prefix + "pull.misses")
+	s.cDegradeFallbacks = h.cfg.Metrics.Counter(prefix + "degrade.fallbacks")
 	s.cViolCull = h.cfg.Metrics.Counter(prefix + "budget_violations.cull")
 	s.cViolSerialize = h.cfg.Metrics.Counter(prefix + "budget_violations.serialize")
 	s.cViolSend = h.cfg.Metrics.Counter(prefix + "budget_violations.send")
@@ -655,14 +656,15 @@ func (h *Hub) handle(conn net.Conn) {
 			return
 		}
 		c = &subscriber{
-			conn:  conn,
-			sess:  s,
-			id:    hello.ClientID,
-			name:  hello.Name,
-			pull:  hello.Flags&wire.HelloFlagPull != 0,
-			out:   make(chan outBuf, h.cfg.QueueDepth),
-			done:  make(chan struct{}),
-			drain: make(chan struct{}),
+			conn:   conn,
+			sess:   s,
+			id:     hello.ClientID,
+			name:   hello.Name,
+			pull:   hello.Flags&wire.HelloFlagPull != 0,
+			layers: hello.Flags&wire.HelloFlagLayers != 0,
+			out:    make(chan outBuf, h.cfg.QueueDepth),
+			done:   make(chan struct{}),
+			drain:  make(chan struct{}),
 		}
 		if h.register(s, c, conn) {
 			break

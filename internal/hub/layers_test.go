@@ -1,0 +1,368 @@
+package hub
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"volcast/internal/cell"
+	"volcast/internal/codec"
+	"volcast/internal/geom"
+	"volcast/internal/metrics"
+	"volcast/internal/pointcloud"
+	"volcast/internal/vivo"
+	"volcast/internal/wire"
+)
+
+// bareSession builds a hub + session pair without a listener or frame
+// loop: tests drive pushFrame by hand and read subscribers' outbound
+// queues directly.
+func bareSession(t *testing.T, cfg Config) (*Hub, *session) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	cfg.HeartbeatEvery = -1
+	cfg.ReapAfter = -1
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.buildSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.cache.close()
+		s.cancel()
+		h.cancel()
+	})
+	return h, s
+}
+
+// bareSub returns a frame-loop-only subscriber with its degrade level
+// pinned (the dwell stops adapt from decaying it on an empty queue).
+func bareSub(degrade int, layers bool) *subscriber {
+	return &subscriber{
+		out:        make(chan outBuf, 4096),
+		done:       make(chan struct{}),
+		drain:      make(chan struct{}),
+		seen:       false,
+		layers:     layers,
+		degrade:    degrade,
+		adaptDwell: 1 << 30,
+	}
+}
+
+// drainMsgs empties a subscriber's queue, parsing and releasing every
+// buffered message.
+func drainMsgs(t *testing.T, c *subscriber) []wire.Message {
+	t.Helper()
+	var out []wire.Message
+	for {
+		select {
+		case b := <-c.out:
+			m, err := wire.ReadMessage(bytes.NewReader(b.buf.Bytes()))
+			b.buf.Release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, m)
+		default:
+			return out
+		}
+	}
+}
+
+func cellDatas(msgs []wire.Message) []*wire.CellData {
+	var out []*wire.CellData
+	for _, m := range msgs {
+		if cd, ok := m.(*wire.CellData); ok {
+			out = append(out, cd)
+		}
+	}
+	return out
+}
+
+// TestDegradeSaturatesAtCoarsestRung is the regression test for the
+// stride-wrap bug: with a prepared ladder of {1, 40} and a degraded
+// subscriber requesting stride 40, the old plan computed 40<<3 = 320 and
+// truncated it into the wire's uint8 as 64 — a stride the store never
+// prepared. The degrade shift must saturate at the coarsest rung: the
+// wire carries stride 40 and the payload is that rung's bytes.
+func TestDegradeSaturatesAtCoarsestRung(t *testing.T) {
+	factory := func(scene uint32, blocks codec.BlockCache) (*vivo.Store, error) {
+		video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+			Frames: 2, FPS: 30, PointsPerFrame: 1500, Seed: 7, Sway: 1,
+		})
+		b, _ := video.Bounds()
+		g, err := cell.NewGrid(b, cell.Size50)
+		if err != nil {
+			return nil, err
+		}
+		return vivo.BuildStore(video, g, codec.NewEncoder(codec.DefaultParams()), []int{1, 40})
+	}
+	_, s := bareSession(t, Config{NewStore: factory})
+
+	// Every visible cell at stride 40: a single LOD level covering all
+	// distances, so the visibility pipeline reproduces the request shape
+	// that used to trigger the wrap.
+	s.vis = vivo.New(s.store.Grid(), vivo.Params{
+		Frustum:   geom.DefaultFrustumParams(),
+		Occlusion: false,
+		LOD:       []vivo.LODLevel{{MaxDist: math.Inf(1), Stride: 40}},
+	})
+	occ := s.store.Frame(0).Occupied
+	var cen geom.Vec3
+	n := 0
+	occ.ForEach(func(id cell.ID) {
+		cen = cen.Add(s.store.Grid().Center(id))
+		n++
+	})
+	cen = cen.Scale(1 / float64(n))
+	pose := geom.Pose{
+		Pos: cen.Add(geom.V(0, 0, 3)),
+		Rot: geom.LookRotation(geom.V(0, 0, -1), geom.V(0, 1, 0)),
+	}
+	if got := len(s.vis.Request(occ, pose).Cells); got == 0 {
+		t.Fatal("test pose sees no cells — nothing to push")
+	}
+
+	c := bareSub(3, false) // maxDegrade: the old code computed 40<<3 = 320
+	c.pose, c.seen = pose, true
+	if !s.addSub(c) {
+		t.Fatal("addSub")
+	}
+	s.pushFrame(0)
+
+	cds := cellDatas(drainMsgs(t, c))
+	if len(cds) == 0 {
+		t.Fatal("no CellData delivered")
+	}
+	for _, cd := range cds {
+		if cd.Stride != 40 {
+			t.Fatalf("cell %d delivered at stride %d, want 40 (saturated, not wrapped)", cd.CellID, cd.Stride)
+		}
+		blk := s.store.Block(0, cell.ID(cd.CellID), 40)
+		if blk == nil {
+			t.Fatalf("cell %d: no coarsest-rung block in store", cd.CellID)
+		}
+		if !bytes.Equal(cd.Payload, blk.Data) {
+			t.Errorf("cell %d: payload is not the coarsest rung's layer prefix", cd.CellID)
+		}
+		if cd.Layers != 1 {
+			t.Errorf("cell %d: Layers = %d, want 1 (base layer only)", cd.CellID, cd.Layers)
+		}
+	}
+}
+
+// TestUpgradeShipsOnlyDeltaLayers is the tentpole's wire-level claim: a
+// layer-aware subscriber upgrading an unchanged cell from a coarse rung
+// to a finer one receives only the enhancement segment (BaseLayers > 0,
+// payload = Block.Delta), while a legacy subscriber making the same
+// upgrade gets the full finer prefix re-sent.
+func TestUpgradeShipsOnlyDeltaLayers(t *testing.T) {
+	_, s := bareSession(t, Config{NewStore: testFactory(nil), Vanilla: true})
+
+	a := bareSub(1, true)  // layer-aware
+	b := bareSub(1, false) // legacy
+	if !s.addSub(a) || !s.addSub(b) {
+		t.Fatal("addSub")
+	}
+
+	// Frame 0 at degrade 1: both receive the base layer (stride 2).
+	s.pushFrame(0)
+	for name, c := range map[string]*subscriber{"layered": a, "legacy": b} {
+		cds := cellDatas(drainMsgs(t, c))
+		if len(cds) == 0 {
+			t.Fatalf("%s subscriber: no CellData in degraded frame", name)
+		}
+		for _, cd := range cds {
+			if cd.Stride != 2 || cd.BaseLayers != 0 {
+				t.Fatalf("%s subscriber degraded frame: stride %d base %d, want stride 2 base 0",
+					name, cd.Stride, cd.BaseLayers)
+			}
+		}
+	}
+
+	// Same frame content again, now at full quality: the upgrade.
+	for _, c := range []*subscriber{a, b} {
+		c.mu.Lock()
+		c.degrade = 0
+		c.mu.Unlock()
+	}
+	s.pushFrame(0)
+
+	var deltaBytes, fullBytes int
+	acds := cellDatas(drainMsgs(t, a))
+	if len(acds) == 0 {
+		t.Fatal("layered subscriber: no CellData in upgrade frame")
+	}
+	for _, cd := range acds {
+		blk := s.store.LayeredBlock(0, cell.ID(cd.CellID))
+		if cd.BaseLayers != 1 || cd.Layers != uint8(blk.Layers()) {
+			t.Fatalf("cell %d upgrade: base %d layers %d, want base 1 layers %d",
+				cd.CellID, cd.BaseLayers, cd.Layers, blk.Layers())
+		}
+		if !bytes.Equal(cd.Payload, blk.Delta(1, blk.Layers())) {
+			t.Errorf("cell %d: upgrade payload is not the enhancement delta", cd.CellID)
+		}
+		deltaBytes += len(cd.Payload)
+		fullBytes += len(blk.Data)
+	}
+	if deltaBytes >= fullBytes {
+		t.Errorf("delta upgrade shipped %d bytes, full re-send is %d — no savings", deltaBytes, fullBytes)
+	}
+
+	bcds := cellDatas(drainMsgs(t, b))
+	if len(bcds) == 0 {
+		t.Fatal("legacy subscriber: no CellData in upgrade frame")
+	}
+	for _, cd := range bcds {
+		blk := s.store.LayeredBlock(0, cell.ID(cd.CellID))
+		if cd.BaseLayers != 0 {
+			t.Fatalf("legacy subscriber got a delta (base %d) it cannot apply", cd.BaseLayers)
+		}
+		if !bytes.Equal(cd.Payload, blk.Data) {
+			t.Errorf("cell %d: legacy upgrade payload is not the full block", cd.CellID)
+		}
+	}
+}
+
+// TestDegradedMissFallsBack is the regression test for the silent-drop
+// bug: a flat store with holes at the degraded rung used to drop those
+// cells from the frame entirely. They must instead be served from the
+// nearest prepared rung that has them, counted under degrade.fallbacks.
+func TestDegradedMissFallsBack(t *testing.T) {
+	video := pointcloud.SynthVideo(pointcloud.SynthConfig{
+		Frames: 1, FPS: 30, PointsPerFrame: 1500, Seed: 7, Sway: 1,
+	})
+	bounds, _ := video.Bounds()
+	g, err := cell.NewGrid(bounds, cell.Size50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flat (non-layered) two-rung store, as a v1 container load would
+	// produce, with the coarse rung missing for two cells.
+	enc := codec.NewEncoder(codec.DefaultParams())
+	frame := video.Frames[0]
+	fb := &vivo.FrameBlocks{
+		Occupied: g.OccupiedCells(frame),
+		ByStride: map[int]map[cell.ID]*codec.Block{
+			1: {}, 2: {},
+		},
+	}
+	for id, idxs := range g.Partition(frame) {
+		fb.ByStride[1][id] = enc.EncodeCell(id, frame, idxs, g.Bounds(id))
+		sub := idxs[:0:0]
+		for i := 0; i < len(idxs); i += 2 {
+			sub = append(sub, idxs[i])
+		}
+		fb.ByStride[2][id] = enc.EncodeCell(id, frame, sub, g.Bounds(id))
+	}
+	var holes []cell.ID
+	for id := range fb.ByStride[2] {
+		holes = append(holes, id)
+		delete(fb.ByStride[2], id)
+		if len(holes) == 2 {
+			break
+		}
+	}
+	if len(holes) != 2 {
+		t.Fatalf("store too small to punch 2 holes (%d cells)", len(fb.ByStride[2])+len(holes))
+	}
+
+	reg := metrics.NewRegistry()
+	factory := func(uint32, codec.BlockCache) (*vivo.Store, error) {
+		return vivo.NewStore(g, []int{1, 2}, 30, []*vivo.FrameBlocks{fb})
+	}
+	_, s := bareSession(t, Config{NewStore: factory, Vanilla: true, Metrics: reg})
+
+	c := bareSub(1, false) // degrade 1: stride 1 requests land on rung 2
+	if !s.addSub(c) {
+		t.Fatal("addSub")
+	}
+	s.pushFrame(0)
+
+	cds := cellDatas(drainMsgs(t, c))
+	if want := fb.Occupied.Count(); len(cds) != want {
+		t.Errorf("delivered %d cells, want %d — degraded holes still dropped", len(cds), want)
+	}
+	holed := map[uint32]bool{}
+	for _, id := range holes {
+		holed[uint32(id)] = true
+	}
+	for _, cd := range cds {
+		if holed[cd.CellID] {
+			if !bytes.Equal(cd.Payload, fb.ByStride[1][cell.ID(cd.CellID)].Data) {
+				t.Errorf("cell %d: fallback payload is not the denser rung's block", cd.CellID)
+			}
+		} else if !bytes.Equal(cd.Payload, fb.ByStride[2][cell.ID(cd.CellID)].Data) {
+			t.Errorf("cell %d: payload is not the degraded rung's block", cd.CellID)
+		}
+	}
+	if got := reg.Snapshot().Counters["hub.session.0.degrade.fallbacks"]; got != int64(len(holes)) {
+		t.Errorf("degrade.fallbacks = %d, want %d", got, len(holes))
+	}
+}
+
+// TestAdaptDwellStopsFlapping pins the hysteresis fix: a queue depth
+// oscillating across the degrade watermarks every frame used to flip the
+// adaptation level every call. With the minimum dwell the level may
+// change at most once per adaptMinDwellFrames+1 calls.
+func TestAdaptDwellStopsFlapping(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := &Hub{cfg: Config{Metrics: reg, Logf: func(string, ...any) {}}}
+	s := &session{hub: h}
+	s.cDropsEnqueue = reg.Counter("test.drops")
+	c := &subscriber{
+		out:   make(chan outBuf, 4096),
+		done:  make(chan struct{}),
+		drain: make(chan struct{}),
+	}
+
+	const burst = 10
+	fill := func(depth int) {
+		drainMsgs(t, c)
+		for i := 0; i < depth; i++ {
+			b, err := wire.NewBuffer(&wire.Ping{Seq: uint32(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.enqueue(c, outBuf{buf: b, fc: -1}) {
+				t.Fatal("fill enqueue failed")
+			}
+		}
+	}
+
+	const calls = 4 * (adaptMinDwellFrames + 1)
+	changes, lastChange := 0, -1
+	level := 0
+	for i := 0; i < calls; i++ {
+		if i%2 == 0 {
+			fill(4*burst + 1) // above the degrade watermark
+		} else {
+			fill(burst/2 - 1) // below the restore watermark
+		}
+		got := s.adapt(c, burst)
+		if got != level {
+			if lastChange >= 0 && i-lastChange <= adaptMinDwellFrames {
+				t.Fatalf("level changed at call %d, only %d calls after the previous change (dwell %d)",
+					i, i-lastChange, adaptMinDwellFrames)
+			}
+			changes++
+			lastChange = i
+			level = got
+		}
+	}
+	if changes == 0 {
+		t.Error("adaptation never moved — dwell froze the level entirely")
+	}
+	if max := calls/(adaptMinDwellFrames+1) + 1; changes > max {
+		t.Errorf("level changed %d times in %d oscillating calls, want <= %d", changes, calls, max)
+	}
+	drainMsgs(t, c)
+}

@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"volcast/internal/cell"
+	"volcast/internal/codec"
 	"volcast/internal/geom"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
 	"volcast/internal/par"
+	"volcast/internal/tier"
 	"volcast/internal/vivo"
 	"volcast/internal/wire"
 )
@@ -54,6 +56,10 @@ type session struct {
 	cConnects, cDisconnects   *metrics.Counter
 	cDropsEnqueue, cDropsSlow *metrics.Counter
 	cPullHits, cPullMisses    *metrics.Counter
+	// cDegradeFallbacks counts slots whose block was missing at the
+	// degraded rung and was served from another prepared rung instead of
+	// being silently dropped (hub.session.<scene>.degrade.fallbacks).
+	cDegradeFallbacks *metrics.Counter
 	// Per-stage budget-violation counters
 	// (hub.session.<scene>.budget_violations.*).
 	cViolCull, cViolSerialize, cViolSend *metrics.Counter
@@ -99,15 +105,29 @@ type subscriber struct {
 	// pull marks a client that drives its own fetching with
 	// SegmentRequests; the push frame loop skips it.
 	pull bool
+	// layers marks a client that advertised HelloFlagLayers: it retains
+	// each cell's layered prefix, so quality upgrades of unchanged
+	// content ship only the enhancement delta.
+	layers bool
 	// degrade is the server-side adaptation level: each level doubles
-	// the delivered stride (halves density). It rises when the client's
-	// outbound queue backs up (slow network/client) and decays when the
-	// queue drains — the transport-level arm of the paper's cross-layer
-	// rate adaptation.
+	// the delivered stride (halves density, saturating at the coarsest
+	// prepared rung). It rises when the client's outbound queue backs up
+	// (slow network/client) and decays when the queue drains — the
+	// transport-level arm of the paper's cross-layer rate adaptation.
 	degrade int
+	// adaptDwell is the number of frames the degrade level is pinned
+	// after a change — the hysteresis dwell that stops the level from
+	// flapping when the queue depth hovers around a watermark.
+	adaptDwell int
 	// fcDrops counts consecutive frames whose FrameComplete marker could
 	// not even be enqueued; crossing SlowClientFrames drops the client.
 	fcDrops int
+	// sent records, per cell, the exact block and layer-prefix length
+	// this subscriber last had enqueued — the basis for delta upgrades
+	// (an unchanged block pointer means unchanged content, courtesy of
+	// the content-addressed encode tier). Touched only by the session's
+	// frame loop, so it needs no lock.
+	sent map[cell.ID]sentCell
 
 	out   chan outBuf
 	done  chan struct{}
@@ -341,11 +361,33 @@ func (s *session) frameLoop() {
 	}
 }
 
+// sentCell is one entry of a subscriber's delivery memory: which block
+// (by pointer — pointer equality is content equality under the shared
+// encode tier) and how many of its layers the client holds.
+type sentCell struct {
+	blk    *codec.Block
+	layers int
+}
+
 // bufKey identifies one shared serialized cell buffer within a frame:
-// same cell at the same delivered stride ⇒ same bytes for everyone.
+// same cell, same delivered rung, same delta base ⇒ same bytes for
+// everyone. stride is always a prepared rung's stride (degrade shifts
+// saturate at the coarsest rung instead of wrapping the wire's uint8).
+// base > 0 marks an upgrade delta: the payload holds only the
+// enhancement layers above a retained base-layer prefix.
 type bufKey struct {
 	id     cell.ID
 	stride int
+	base   int
+}
+
+// slotMeta carries the planning loop's block resolution to the
+// serialization workers: the cell's full layered block (nil = flat
+// store, resolve per stride in the worker) and the layer-prefix length
+// the slot's rung consumes.
+type slotMeta struct {
+	blk    *codec.Block
+	layers int
 }
 
 // pushFrame computes per-subscriber requests for one frame and fans the
@@ -382,6 +424,9 @@ func (s *session) pushFrame(frame int) {
 			isPull[i] = true
 			continue // client fetches for itself
 		}
+		if c.sent == nil {
+			c.sent = map[cell.ID]sentCell{}
+		}
 		if !seen || cfg.Vanilla {
 			reqs[i] = vivo.VanillaRequest(occ)
 		} else {
@@ -397,13 +442,20 @@ func (s *session) pushFrame(frame int) {
 		s.wBudgetViol.Add(1)
 	}
 
-	// Plan the fan-out: dedupe (cell, stride) pairs into a slot index and
-	// give every push subscriber an ordered cursor walk over it.
-	// Degradation is decided up front (it reads the live queue depth), so
-	// the plans are immutable for the rest of the frame.
+	// Plan the fan-out: dedupe (cell, rung, delta-base) triples into a
+	// slot index and give every push subscriber an ordered cursor walk
+	// over it. Degradation is decided up front (it reads the live queue
+	// depth), so the plans are immutable for the rest of the frame. The
+	// degrade shift snaps onto the prepared ladder — it saturates at the
+	// coarsest rung instead of shifting past it and wrapping the wire's
+	// uint8 stride. A layer-aware subscriber that already holds the very
+	// block at a shallower prefix gets a delta slot (base > 0): only the
+	// enhancement layers, the rest is already client-side.
 	serStart := time.Now()
+	lad := s.store.Ladder()
 	keyIdx := map[bufKey]int{}
 	var keys []bufKey
+	var meta []slotMeta
 	plans := make([][]int, len(subs))
 	for i, c := range subs {
 		if isPull[i] {
@@ -412,12 +464,24 @@ func (s *session) pushFrame(frame int) {
 		degrade := s.adapt(c, len(reqs[i].Cells))
 		plan := make([]int, 0, len(reqs[i].Cells))
 		for _, cr := range reqs[i].Cells {
-			k := bufKey{id: cr.ID, stride: cr.Stride << degrade}
+			eff, _ := lad.Degrade(cr.Stride, degrade)
+			rung := lad.RungFor(eff)
+			k := bufKey{id: cr.ID, stride: lad.StrideAt(rung)}
+			m := slotMeta{}
+			if blk := s.store.LayeredBlock(fi, cr.ID); blk != nil && blk.Layers() > 1 {
+				m = slotMeta{blk: blk, layers: lad.LayersFor(rung, blk.Layers())}
+				if c.layers {
+					if prev, ok := c.sent[cr.ID]; ok && prev.blk == blk && prev.layers < m.layers {
+						k.base = prev.layers
+					}
+				}
+			}
 			idx, ok := keyIdx[k]
 			if !ok {
 				idx = len(keys)
 				keyIdx[k] = idx
 				keys = append(keys, k)
+				meta = append(meta, m)
 			}
 			plan = append(plan, idx)
 		}
@@ -427,19 +491,35 @@ func (s *session) pushFrame(frame int) {
 	// Serialize every slot once, in parallel. Workers publish completed
 	// slot indices through the buffered ready channel — the send gives the
 	// dispatcher its happens-before on the slot write. A nil slot is a
-	// miss (no block at that stride, or a serialize error).
+	// miss (no block at any rung, or a serialize error). Every tier of a
+	// layered cell slices the same encode: the base-layer bytes degraded
+	// subscribers receive alias the full block's buffer.
 	slots := make([]*wire.Buffer, len(keys))
 	ready := make(chan int, len(keys))
 	go func() {
 		par.ForEach(s.ctx, len(keys), func(j int) error {
 			k := keys[j]
-			if blk := s.store.Block(fi, k.id, k.stride); blk != nil {
+			var payload []byte
+			var layersOut, baseOut uint8
+			if m := meta[j]; m.blk != nil {
+				if k.base > 0 {
+					payload = m.blk.Delta(k.base, m.layers)
+				} else {
+					payload = m.blk.Prefix(m.layers)
+				}
+				layersOut, baseOut = uint8(m.layers), uint8(k.base)
+			} else if blk := s.resolveBlock(fi, k.id, k.stride); blk != nil {
+				payload = blk.Data
+			}
+			if payload != nil {
 				b, err := wire.NewBuffer(&wire.CellData{
-					Frame:     uint32(frame),
-					CellID:    uint32(k.id),
-					Stride:    uint8(k.stride),
-					Multicast: counts[k.id] > 1,
-					Payload:   blk.Data,
+					Frame:      uint32(frame),
+					CellID:     uint32(k.id),
+					Stride:     tier.WireStride(k.stride),
+					Multicast:  counts[k.id] > 1,
+					Payload:    payload,
+					Layers:     layersOut,
+					BaseLayers: baseOut,
 				})
 				if err != nil {
 					cfg.Metrics.Counter("hub.serialize.errors").Inc()
@@ -485,6 +565,12 @@ func (s *session) pushFrame(frame int) {
 			}
 			cells[i]++
 			bytes[i] += uint64(n)
+			// Record what the client now holds — only on a successful
+			// enqueue, so a dropped buffer leaves the delivery memory
+			// describing the client's true state.
+			if m := meta[j]; m.blk != nil {
+				c.sent[keys[j].id] = sentCell{blk: m.blk, layers: m.layers}
+			}
 		}
 	}
 	for j := range ready {
@@ -561,6 +647,33 @@ func (s *session) pushFrame(frame int) {
 		s.cache.install(uint32(frame), keys, slots)
 	}
 	s.cFrames.Inc()
+}
+
+// resolveBlock finds a cell's block at the requested (already prepared)
+// stride, falling back to the nearest other prepared rung — denser
+// first, then coarser — when that rung's map has a hole (a partially
+// ingested store). A fallback counts under degrade.fallbacks; before it
+// existed a degraded request whose rung was missing silently dropped
+// the cell even though other rungs held it.
+func (s *session) resolveBlock(fi int, id cell.ID, stride int) *codec.Block {
+	if blk := s.store.Block(fi, id, stride); blk != nil {
+		return blk
+	}
+	lad := s.store.Ladder()
+	want := lad.RungFor(stride)
+	for r := want - 1; r >= 0; r-- {
+		if blk := s.store.Block(fi, id, lad.StrideAt(r)); blk != nil {
+			s.cDegradeFallbacks.Inc()
+			return blk
+		}
+	}
+	for r := want + 1; r < lad.Rungs(); r++ {
+		if blk := s.store.Block(fi, id, lad.StrideAt(r)); blk != nil {
+			s.cDegradeFallbacks.Inc()
+			return blk
+		}
+	}
+	return nil
 }
 
 // maxWriteBatch bounds one vectored write: enough to coalesce a frame's
@@ -779,24 +892,52 @@ func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
 	pullStart := time.Now()
 	defer cfg.Trace.Begin(int(req.Frame), int(c.sub), obs.StageSerialize).End()
 	fi := int(req.Frame) % s.store.NumFrames()
+	lad := s.store.Ladder()
 	var cells, bytes uint64
 	for _, ref := range req.Cells {
-		k := bufKey{id: cell.ID(ref.CellID), stride: int(ref.Stride)}
+		// Snap onto the prepared ladder so pull keys coincide with the
+		// push fan-out's and both populations share cached buffers.
+		rung := lad.RungFor(int(ref.Stride))
+		k := bufKey{id: cell.ID(ref.CellID), stride: lad.StrideAt(rung)}
+		full := s.store.LayeredBlock(fi, k.id)
+		layered := full != nil && full.Layers() > 1
+		var want int
+		if layered {
+			want = lad.LayersFor(rung, full.Layers())
+			// A client that declared a held prefix gets only the
+			// enhancement delta — but only when its token proves the held
+			// bytes are this very block (looped playback revisits frames;
+			// a stale prefix silently corrupts the reassembly otherwise).
+			if c.layers && ref.HaveLayers > 0 && int(ref.HaveLayers) < want &&
+				ref.Token == codec.HashBytes(full.Prefix(int(ref.HaveLayers)))[0] {
+				k.base = int(ref.HaveLayers)
+			}
+		}
 		b := s.cache.lookup(req.Frame, k)
 		if b != nil {
 			s.cPullHits.Inc()
 		} else {
-			blk := s.store.Block(fi, k.id, k.stride)
-			if blk == nil {
-				continue
+			m := &wire.CellData{
+				Frame:  req.Frame,
+				CellID: ref.CellID,
+				Stride: tier.WireStride(k.stride),
+			}
+			if layered {
+				if k.base > 0 {
+					m.Payload = full.Delta(k.base, want)
+				} else {
+					m.Payload = full.Prefix(want)
+				}
+				m.Layers, m.BaseLayers = uint8(want), uint8(k.base)
+			} else {
+				blk := s.resolveBlock(fi, k.id, k.stride)
+				if blk == nil {
+					continue
+				}
+				m.Payload = blk.Data
 			}
 			var err error
-			b, err = wire.NewBuffer(&wire.CellData{
-				Frame:   req.Frame,
-				CellID:  ref.CellID,
-				Stride:  ref.Stride,
-				Payload: blk.Data,
-			})
+			b, err = wire.NewBuffer(m)
 			if err != nil {
 				cfg.Metrics.Counter("hub.serialize.errors").Inc()
 				continue
@@ -819,12 +960,20 @@ func (s *session) servePull(c *subscriber, req *wire.SegmentRequest) {
 // maxDegrade bounds the server-side density reduction (stride ×8).
 const maxDegrade = 3
 
+// adaptMinDwellFrames pins the degradation level for this many frames
+// after every change. A queue hovering right at a watermark used to flip
+// the level every frame — each flip re-keying the fan-out plan and
+// spamming Adapt messages — so changes now pay a minimum dwell before
+// the next one is considered.
+const adaptMinDwellFrames = 8
+
 // adapt inspects the subscriber's outbound queue and moves its
 // degradation level. The watermarks are measured in frames of backlog
 // (burst = the cell count of the frame about to be pushed): more than
 // four frames queued means the network or client cannot keep up, so
 // density drops; under half a frame queued restores it. Changes are
-// announced with an Adapt message.
+// announced with an Adapt message and pinned for adaptMinDwellFrames
+// frames of hysteresis.
 func (s *session) adapt(c *subscriber, burst int) int {
 	if burst < 1 {
 		burst = 1
@@ -832,11 +981,18 @@ func (s *session) adapt(c *subscriber, burst int) int {
 	depth := len(c.out)
 	c.mu.Lock()
 	old := c.degrade
-	switch {
-	case depth > 4*burst && c.degrade < maxDegrade:
-		c.degrade++
-	case depth < burst/2 && c.degrade > 0:
-		c.degrade--
+	if c.adaptDwell > 0 {
+		c.adaptDwell--
+	} else {
+		switch {
+		case depth > 4*burst && c.degrade < maxDegrade:
+			c.degrade++
+		case depth < burst/2 && c.degrade > 0:
+			c.degrade--
+		}
+		if c.degrade != old {
+			c.adaptDwell = adaptMinDwellFrames
+		}
 	}
 	level := c.degrade
 	c.mu.Unlock()

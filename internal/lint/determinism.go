@@ -22,6 +22,10 @@ var simPathPackages = map[string]bool{
 	// vivo builds the store the parity tests hash; its timing must flow
 	// through the tracer/metrics layers, not raw time.Now.
 	"volcast/internal/vivo": true,
+	// tier maps strides to layer prefixes for every serving plan; a
+	// nondeterministic rung choice would desync hub buffers from pull
+	// tokens and break the layer parity renders.
+	"volcast/internal/tier": true,
 }
 
 // wallClockFuncs are the time functions that read or depend on the wall

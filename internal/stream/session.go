@@ -481,10 +481,18 @@ func (s *Session) adaptQuality(plan *core.FramePlan, q *QoE) {
 		if upQ != s.quality[u] {
 			upDemand = demand * float64(upQ.Points()) / float64(s.quality[u].Points())
 		}
+		// With the layered codec the switch itself ships only enhancement
+		// layers: the extra rate over current demand, not a full re-send of
+		// the finer rung.
+		upDelta := 0.0
+		if upDemand > demand {
+			upDelta = upDemand - demand
+		}
 		st8 := abr.State{
 			PredictedMbps:    s.bwPred[u].Predict(),
 			DemandMbps:       demand,
 			NextUpDemandMbps: upDemand,
+			UpgradeDeltaMbps: upDelta,
 			BufferLevel:      s.buffers[u].Level(),
 			BufferCapacity:   s.buffers[u].Capacity,
 			GroupEfficiency:  1,

@@ -1,0 +1,61 @@
+package tier
+
+import "testing"
+
+func TestRungMapping(t *testing.T) {
+	l := New([]int{1, 2, 4})
+	if l.Rungs() != 3 {
+		t.Fatalf("rungs = %d", l.Rungs())
+	}
+	cases := []struct{ stride, rung int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {40, 2}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := l.RungFor(c.stride); got != c.rung {
+			t.Errorf("RungFor(%d) = %d, want %d", c.stride, got, c.rung)
+		}
+	}
+	if l.StrideAt(-1) != 1 || l.StrideAt(99) != 4 {
+		t.Error("StrideAt clamp broken")
+	}
+}
+
+func TestLayersFor(t *testing.T) {
+	l := New([]int{1, 2, 4})
+	// Full 3-layer block: rung 0 takes all layers, rung 2 the base.
+	for r, want := range []int{3, 2, 1} {
+		if got := l.LayersFor(r, 3); got != want {
+			t.Errorf("LayersFor(%d, 3) = %d, want %d", r, got, want)
+		}
+	}
+	// A shallower block saturates at its base layer for coarse rungs.
+	if got := l.LayersFor(2, 2); got != 1 {
+		t.Errorf("LayersFor(2, 2) = %d", got)
+	}
+	// Flat single-layer blocks always take their whole data.
+	for r := 0; r < 3; r++ {
+		if got := l.LayersFor(r, 1); got != 1 {
+			t.Errorf("LayersFor(%d, 1) = %d", r, got)
+		}
+	}
+}
+
+func TestDegradeSaturates(t *testing.T) {
+	l := New([]int{1, 2, 4, 40})
+	if eff, clamped := l.Degrade(2, 1); eff != 4 || clamped {
+		t.Errorf("Degrade(2,1) = %d,%v", eff, clamped)
+	}
+	// The regression the wire used to hit: 40<<3 = 320 truncated to a
+	// uint8 silently advertised stride 64. Now it saturates at the
+	// coarsest rung and reports the clamp.
+	if eff, clamped := l.Degrade(40, 3); eff != 40 || !clamped {
+		t.Errorf("Degrade(40,3) = %d,%v, want 40,true", eff, clamped)
+	}
+	// Huge degrade levels cannot overflow the shift.
+	if eff, clamped := l.Degrade(3, 62); eff != 40 || !clamped {
+		t.Errorf("Degrade(3,62) = %d,%v", eff, clamped)
+	}
+	if WireStride(320) != 255 || WireStride(40) != 40 || WireStride(-1) != 0 {
+		t.Error("WireStride clamp broken")
+	}
+}

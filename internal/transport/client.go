@@ -37,6 +37,10 @@ type ClientConfig struct {
 	// Decode enables full decoding of received cells (costs CPU; off,
 	// the client only accounts bytes).
 	Decode bool
+	// Layers advertises HelloFlagLayers: the client retains each cell's
+	// layered prefix so the server can ship quality upgrades of unchanged
+	// content as enhancement-only deltas, reassembled here.
+	Layers bool
 	// Tracer receives per-frame decode/present spans on the client's ID;
 	// nil falls back to the process tracer.
 	Tracer *obs.Tracer
@@ -74,6 +78,14 @@ type ClientStats struct {
 	Bytes int64
 	// MulticastBytes counts bytes the server marked as shared.
 	MulticastBytes int64
+	// DeltaCells / DeltaBytes count enhancement-only upgrade deliveries
+	// (CellData with BaseLayers > 0) and their wire bytes — what the
+	// layered path saved re-sending. DeltaFullBytes is the reassembled
+	// size of those same cells, i.e. what a full re-send would have cost;
+	// DeltaBytes < DeltaFullBytes is the layering win, byte for byte.
+	DeltaCells     int
+	DeltaBytes     int64
+	DeltaFullBytes int64
 	// Points counts decoded points (when Decode is set).
 	Points int64
 	// DecodeErrors counts corrupt blocks (must be 0 on a healthy link).
@@ -187,7 +199,11 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 	}
 	defer conn.Close()
 
-	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name, Scene: cfg.Scene}); err != nil {
+	var helloFlags uint8
+	if cfg.Layers {
+		helloFlags |= wire.HelloFlagLayers
+	}
+	if err := wire.WriteMessage(conn, &wire.Hello{ClientID: cfg.ID, Name: cfg.Name, Scene: cfg.Scene, Flags: helloFlags}); err != nil {
 		return fmt.Errorf("transport: hello: %w", err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -334,6 +350,14 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 		tr = obs.Default()
 	}
 	dec := codec.Decoder{Cache: blockcache.Cells()}
+	// held retains each cell's layered prefix bytes so enhancement-only
+	// deltas (BaseLayers > 0) can be appended to what the client already
+	// has. Connection-scoped, matching the server's per-subscriber
+	// delivery memory: a reconnect starts both sides from scratch.
+	var held map[uint32][]byte
+	if cfg.Layers {
+		held = map[uint32][]byte{}
+	}
 	// Per-frame decode time accumulates across the frame's cells and lands
 	// as one span at FrameComplete; the gap between consecutive
 	// FrameCompletes is the client's presentation interval.
@@ -383,9 +407,33 @@ func runClientConn(sessionCtx context.Context, cfg ClientConfig, stats *ClientSt
 			if m.Multicast {
 				stats.MulticastBytes += int64(len(m.Payload))
 			}
+			payload := m.Payload
+			assembled := m.BaseLayers == 0
+			if m.BaseLayers > 0 {
+				// Enhancement-only delta: append to the retained prefix.
+				// Without it (shouldn't happen — the server tracks what we
+				// hold) the delta is undecodable and counts as corrupt.
+				if prev := held[m.CellID]; len(prev) > 0 {
+					buf := make([]byte, 0, len(prev)+len(m.Payload))
+					payload = append(append(buf, prev...), m.Payload...)
+					assembled = true
+					stats.DeltaCells++
+					stats.DeltaBytes += int64(len(m.Payload))
+					stats.DeltaFullBytes += int64(len(payload))
+				}
+			}
+			if held != nil && m.Layers > 0 && assembled {
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				held[m.CellID] = cp
+			}
+			if !assembled {
+				stats.DecodeErrors++
+				break
+			}
 			if cfg.Decode {
 				t0 := time.Now()
-				dc, err := dec.Decode(m.Payload)
+				dc, err := dec.Decode(payload)
 				if decStart.IsZero() {
 					decStart = t0
 				}

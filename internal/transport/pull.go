@@ -35,8 +35,18 @@ type PullClientConfig struct {
 	// Stride is the density rung to request (distance-based LOD is the
 	// server's job in push mode; pull clients choose per request).
 	Stride uint8
+	// StrideAt overrides Stride per frame when set (a return of 0 keeps
+	// Stride) — the hook tier-upgrade scenarios use to flip a session
+	// from a coarse rung to a dense one mid-run and exercise the
+	// enhancement-delta path deterministically.
+	StrideAt func(frame uint32) uint8
 	// Decode enables full decoding of received cells.
 	Decode bool
+	// Layers advertises HelloFlagLayers and attaches held-prefix tokens
+	// to requests: cells the client already holds at a sufficient layer
+	// prefix come back as enhancement-only deltas (or fewer bytes when
+	// already current) instead of full re-sends.
+	Layers bool
 	// FrameTimeout bounds the wait for one frame's response burst. A
 	// server that dropped the frame's FrameComplete (full queue) costs
 	// one frame, not the rest of the session (0 = 4 frame intervals,
@@ -73,8 +83,12 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	}
 	defer conn.Close()
 
+	helloFlags := wire.HelloFlagPull
+	if cfg.Layers {
+		helloFlags |= wire.HelloFlagLayers
+	}
 	if err := wire.WriteMessage(conn, &wire.Hello{
-		ClientID: cfg.ID, Name: "pull", Flags: wire.HelloFlagPull, Scene: cfg.Scene,
+		ClientID: cfg.ID, Name: "pull", Flags: helloFlags, Scene: cfg.Scene,
 	}); err != nil {
 		return stats, fmt.Errorf("transport: hello: %w", err)
 	}
@@ -120,6 +134,18 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 	deadline := time.Now().Add(cfg.Duration)
 	tr := obs.Default()
 	dec := codec.Decoder{Cache: blockcache.Cells()}
+	// heldCell is one retained layered prefix: the bytes, their layer
+	// count, and the content token the server verifies before answering
+	// with an enhancement-only delta.
+	type heldCell struct {
+		data   []byte
+		layers uint8
+		token  uint64
+	}
+	var held map[uint32]*heldCell
+	if cfg.Layers {
+		held = map[uint32]*heldCell{}
+	}
 	start := time.Now()
 	frame := uint32(0)
 	next := time.Now()
@@ -143,10 +169,20 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 		// frustum (the client cannot know occupancy; the server skips
 		// empty cells and reports the delivered count).
 		fr := geom.NewFrustum(pose, geom.DefaultFrustumParams())
+		stride := cfg.Stride
+		if cfg.StrideAt != nil {
+			if s := cfg.StrideAt(frame); s > 0 {
+				stride = s
+			}
+		}
 		var refs []wire.CellRef
 		for id := cell.ID(0); int(id) < grid.NumCells(); id++ {
 			if fr.IntersectsAABB(grid.Bounds(id)) {
-				refs = append(refs, wire.CellRef{CellID: uint32(id), Stride: cfg.Stride})
+				ref := wire.CellRef{CellID: uint32(id), Stride: stride}
+				if hc := held[uint32(id)]; hc != nil {
+					ref.HaveLayers, ref.Token = hc.layers, hc.token
+				}
+				refs = append(refs, ref)
 			}
 		}
 		writeErr := wire.WriteMessage(conn, &wire.SegmentRequest{Frame: frame, Cells: refs})
@@ -194,9 +230,36 @@ func RunPullClient(ctx context.Context, cfg PullClientConfig) (ClientStats, erro
 				}
 				stats.Cells++
 				stats.Bytes += int64(len(m.Payload))
+				payload := m.Payload
+				assembled := m.BaseLayers == 0
+				if m.BaseLayers > 0 {
+					// Enhancement delta onto the retained prefix (the server
+					// only sends one after verifying our token).
+					if hc := held[m.CellID]; hc != nil && len(hc.data) > 0 {
+						buf := make([]byte, 0, len(hc.data)+len(m.Payload))
+						payload = append(append(buf, hc.data...), m.Payload...)
+						assembled = true
+						stats.DeltaCells++
+						stats.DeltaBytes += int64(len(m.Payload))
+						stats.DeltaFullBytes += int64(len(payload))
+					}
+				}
+				if held != nil && m.Layers > 0 && assembled {
+					cp := make([]byte, len(payload))
+					copy(cp, payload)
+					held[m.CellID] = &heldCell{
+						data:   cp,
+						layers: m.Layers,
+						token:  codec.HashBytes(cp)[0],
+					}
+				}
+				if !assembled {
+					stats.DecodeErrors++
+					continue drain
+				}
 				if cfg.Decode {
 					t0 := time.Now()
-					dc, err := dec.Decode(m.Payload)
+					dc, err := dec.Decode(payload)
 					if decStart.IsZero() {
 						decStart = t0
 					}

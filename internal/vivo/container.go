@@ -11,6 +11,7 @@ import (
 	"volcast/internal/cell"
 	"volcast/internal/codec"
 	"volcast/internal/geom"
+	"volcast/internal/tier"
 )
 
 // Container format ("VCSTOR"): a serialized Store, so servers can encode
@@ -200,7 +201,7 @@ func ReadStore(r io.Reader) (*Store, error) {
 		}
 		strides[i] = int(v)
 	}
-	st := &Store{grid: grid, strides: strides, fps: int(fps)}
+	st := &Store{grid: grid, strides: strides, ladder: tier.New(strides), fps: int(fps)}
 	maxCells := grid.NumCells()
 	for f := uint64(0); f < nFrames; f++ {
 		nOcc, err := get()

@@ -12,10 +12,15 @@ import (
 	"volcast/internal/obs"
 	"volcast/internal/par"
 	"volcast/internal/pointcloud"
+	"volcast/internal/tier"
 )
 
 // FrameBlocks holds one frame's encoded cells at every prepared density
-// stride, as a content server would store them.
+// stride, as a content server would store them. With the layered codec
+// (the default for multi-rung ladders) every stride's block is a tier
+// view of one shared layered encode: the entries of coarser strides
+// alias prefixes of the stride-1 block's buffer rather than holding
+// independent encodes.
 type FrameBlocks struct {
 	// Occupied is the frame's occupied-cell set.
 	Occupied *cell.Set
@@ -24,12 +29,14 @@ type FrameBlocks struct {
 }
 
 // Store is the server-side content store: every frame of a video,
-// partitioned on one grid and encoded per cell at a ladder of density
-// strides. It is the data source for both the offline experiments and the
-// TCP streaming server.
+// partitioned on one grid and encoded per cell once, with a ladder of
+// density rungs served as layer prefixes of that single encode. It is
+// the data source for both the offline experiments and the TCP
+// streaming server.
 type Store struct {
 	grid    *cell.Grid
 	strides []int
+	ladder  tier.Ladder
 	frames  []*FrameBlocks
 	fps     int
 }
@@ -38,6 +45,13 @@ type Store struct {
 // across the par pool (the encoder is stateless). The strides slice must
 // include 1 (full density); it is sorted and deduplicated. Frame slots
 // are filled by index, so the store is identical for any pool width.
+//
+// With more than one rung, each cell is encoded exactly once as a
+// layered block of len(strides) layers and every rung is served as a
+// layer-prefix view of that block — one encode serves every tier, and a
+// coarse rung's bytes alias the dense rung's buffer. An encoder that
+// already requests layering (Params.Layers > 0) keeps its own layer
+// count.
 //
 // Unless the encoder already carries a cache, encoding runs through the
 // process-wide content-addressed encode tier (internal/blockcache), so
@@ -51,7 +65,10 @@ func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides [
 	if enc.Cache == nil {
 		enc = enc.Cached(blockcache.Blocks())
 	}
-	st := &Store{grid: g, strides: ss, fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
+	if len(ss) > 1 {
+		enc = enc.Layered(uint8(len(ss)))
+	}
+	st := &Store{grid: g, strides: ss, ladder: tier.New(ss), fps: v.FPS, frames: make([]*FrameBlocks, len(v.Frames))}
 
 	// Wall-clock sampling happens inside the obs/metrics layers (Begin/End,
 	// Time, TimeMillis) — the build path itself never reads the clock, so
@@ -75,13 +92,45 @@ func BuildStore(v *pointcloud.Video, g *cell.Grid, enc *codec.Encoder, strides [
 	return st, nil
 }
 
-// encodeFrame partitions and encodes one frame at every stride.
+// NewStore assembles a store from pre-built frames — the ingestion path
+// for content encoded elsewhere (and the way tests construct stores with
+// deliberately incomplete rung maps). The strides slice must include 1
+// and is sorted and deduplicated; each frame's ByStride maps are used as
+// given, holes included.
+func NewStore(g *cell.Grid, strides []int, fps int, frames []*FrameBlocks) (*Store, error) {
+	ss := dedupSorted(strides)
+	if len(ss) == 0 || ss[0] != 1 {
+		return nil, fmt.Errorf("vivo: strides must include 1, got %v", strides)
+	}
+	return &Store{grid: g, strides: ss, ladder: tier.New(ss), fps: fps, frames: frames}, nil
+}
+
+// encodeFrame partitions and encodes one frame: each cell once, with
+// every coarser stride's entry a layer-prefix view of the full block.
+// A single-rung ladder (or a non-layered encoder) keeps the flat
+// one-encode-per-stride path.
 func encodeFrame(frame *pointcloud.Cloud, g *cell.Grid, enc *codec.Encoder, ss []int) *FrameBlocks {
 	fb := &FrameBlocks{
 		Occupied: g.OccupiedCells(frame),
 		ByStride: make(map[int]map[cell.ID]*codec.Block, len(ss)),
 	}
 	parts := g.Partition(frame)
+	if enc.Params().Layers > 0 {
+		full := make(map[cell.ID]*codec.Block, len(parts))
+		for id, idxs := range parts {
+			full[id] = enc.EncodeCell(id, frame, idxs, g.Bounds(id))
+		}
+		fb.ByStride[ss[0]] = full
+		lad := tier.New(ss)
+		for r := 1; r < len(ss); r++ {
+			m := make(map[cell.ID]*codec.Block, len(full))
+			for id, b := range full {
+				m[id] = b.TierView(lad.LayersFor(r, b.Layers()))
+			}
+			fb.ByStride[ss[r]] = m
+		}
+		return fb
+	}
 	for _, stride := range ss {
 		m := make(map[cell.ID]*codec.Block, len(parts))
 		for id, idxs := range parts {
@@ -97,13 +146,6 @@ func encodeFrame(frame *pointcloud.Cloud, g *cell.Grid, enc *codec.Encoder, ss [
 		fb.ByStride[stride] = m
 	}
 	return fb
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func dedupSorted(in []int) []int {
@@ -145,27 +187,60 @@ func (s *Store) Frame(fi int) *FrameBlocks {
 	return s.frames[fi]
 }
 
+// Ladder returns the stride↔tier ladder of the prepared rungs.
+func (s *Store) Ladder() tier.Ladder { return s.ladder }
+
 // nearestStride maps an arbitrary requested stride to the closest prepared
 // one (ties resolve to the denser option).
 func (s *Store) nearestStride(stride int) int {
-	best := s.strides[0]
-	bestD := abs(stride - best)
-	for _, c := range s.strides[1:] {
-		if d := abs(stride - c); d < bestD {
-			best, bestD = c, d
-		}
-	}
-	return best
+	return s.ladder.StrideAt(s.ladder.RungFor(stride))
 }
 
 // Block returns the encoded block of a cell at (the nearest prepared
 // stride to) the requested stride, or nil when the cell is unoccupied.
+// With a layered store the returned block is a layer-prefix view of the
+// cell's single encode.
 func (s *Store) Block(fi int, id cell.ID, stride int) *codec.Block {
 	fb := s.Frame(fi)
 	if fb == nil {
 		return nil
 	}
 	return fb.ByStride[s.nearestStride(stride)][id]
+}
+
+// LayeredBlock returns the cell's full layered block (the densest rung),
+// from which any tier prefix or upgrade delta can be sliced, or nil when
+// the cell is unoccupied.
+func (s *Store) LayeredBlock(fi int, id cell.ID) *codec.Block {
+	fb := s.Frame(fi)
+	if fb == nil {
+		return nil
+	}
+	return fb.ByStride[s.strides[0]][id]
+}
+
+// UpgradeBytes returns the bytes a subscriber already holding a cell at
+// fromStride must receive to reach toStride: with layered blocks only
+// the enhancement delta between the two tiers' prefixes, with flat
+// blocks a full re-send of the finer rung. Downgrades (and unoccupied
+// cells) cost zero.
+func (s *Store) UpgradeBytes(fi int, id cell.ID, fromStride, toStride int) int {
+	b := s.LayeredBlock(fi, id)
+	if b == nil {
+		return 0
+	}
+	from := s.ladder.LayersFor(s.ladder.RungFor(fromStride), b.Layers())
+	to := s.ladder.LayersFor(s.ladder.RungFor(toStride), b.Layers())
+	if to <= from {
+		return 0
+	}
+	if b.Layers() > 1 {
+		return len(b.Delta(from, to))
+	}
+	if blk := s.Block(fi, id, toStride); blk != nil {
+		return blk.Size()
+	}
+	return 0
 }
 
 // SizeOracle returns a Request.Bytes oracle for frame fi.

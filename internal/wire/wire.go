@@ -95,6 +95,11 @@ const (
 	// push viewport-computed bursts; the client fetches with
 	// SegmentRequest.
 	HelloFlagPull uint8 = 1 << 0
+	// HelloFlagLayers declares a client that retains each cell's layered
+	// prefix and accepts delta CellData (BaseLayers > 0): on a quality
+	// upgrade of unchanged content the server ships only the enhancement
+	// layers instead of re-sending the whole finer prefix.
+	HelloFlagLayers uint8 = 1 << 1
 )
 
 // Hello introduces a client.
@@ -253,8 +258,19 @@ type CellData struct {
 	// Multicast marks cells delivered via a multicast group (shared
 	// across clients; accounting only — TCP delivery is per-connection).
 	Multicast bool
-	// Payload is the codec block bytes.
+	// Payload is the codec block bytes: a self-contained layer prefix
+	// when BaseLayers is 0, otherwise the enhancement delta that upgrades
+	// a retained BaseLayers-prefix to Layers.
 	Payload []byte
+	// Layers is the number of codec layers the delivered prefix spans
+	// once assembled (0 = flat block / pre-layering sender). The two
+	// layer fields trail the payload on the wire so older parsers ignore
+	// them — the same compatibility scheme as Hello.Scene.
+	Layers uint8
+	// BaseLayers is how many layers the receiver already holds for this
+	// cell: 0 means Payload decodes on its own; k > 0 means Payload must
+	// be appended to the retained k-layer prefix before decoding.
+	BaseLayers uint8
 }
 
 // Type implements Message.
@@ -270,7 +286,8 @@ func (m *CellData) appendBody(b []byte) []byte {
 	}
 	b = append(b, mc)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Payload)))
-	return append(b, m.Payload...)
+	b = append(b, m.Payload...)
+	return append(b, m.Layers, m.BaseLayers)
 }
 
 func (m *CellData) parseBody(b []byte) error {
@@ -286,6 +303,10 @@ func (m *CellData) parseBody(b []byte) error {
 		return ErrShort
 	}
 	m.Payload = append([]byte(nil), b[14:14+n]...)
+	m.Layers, m.BaseLayers = 0, 0
+	if rest := b[14+n:]; len(rest) >= 2 {
+		m.Layers, m.BaseLayers = rest[0], rest[1]
+	}
 	return nil
 }
 
@@ -346,6 +367,14 @@ type CellRef struct {
 	CellID uint32
 	// Stride is the requested density rung.
 	Stride uint8
+	// HaveLayers is how many layers of this cell's layered block the
+	// client already retains (0 = none / not layer-aware). A server that
+	// verifies Token may answer with a delta instead of the full prefix.
+	HaveLayers uint8
+	// Token authenticates the retained prefix: the first 64 bits of the
+	// codec content hash of the held bytes. A mismatch (stale cache,
+	// different content) makes the server fall back to a full send.
+	Token uint64
 }
 
 // SegmentRequest is the pull-mode fetch: instead of (or in addition to)
@@ -374,6 +403,13 @@ func (m *SegmentRequest) appendBody(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint32(b, c.CellID)
 		b = append(b, c.Stride)
 	}
+	// The per-ref layer state trails the legacy ref array (9 bytes per
+	// ref: HaveLayers + Token) so old servers parse the request unchanged
+	// and simply answer with full prefixes.
+	for _, c := range m.Cells[:n] {
+		b = append(b, c.HaveLayers)
+		b = binary.LittleEndian.AppendUint64(b, c.Token)
+	}
 	return b
 }
 
@@ -391,6 +427,12 @@ func (m *SegmentRequest) parseBody(b []byte) error {
 	for i := 0; i < n; i++ {
 		m.Cells[i].CellID = binary.LittleEndian.Uint32(b[i*5:])
 		m.Cells[i].Stride = b[i*5+4]
+	}
+	if rest := b[n*5:]; len(rest) >= n*9 {
+		for i := 0; i < n; i++ {
+			m.Cells[i].HaveLayers = rest[i*9]
+			m.Cells[i].Token = binary.LittleEndian.Uint64(rest[i*9+1:])
+		}
 	}
 	return nil
 }

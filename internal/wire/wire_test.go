@@ -132,6 +132,62 @@ func TestCellDataRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCellDataLayerFieldsRoundTrip(t *testing.T) {
+	c := &CellData{Frame: 2, CellID: 9, Stride: 4, Payload: []byte{7, 7}, Layers: 3, BaseLayers: 1}
+	got := roundTrip(t, c).(*CellData)
+	if got.Layers != 3 || got.BaseLayers != 1 || !bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("got %+v", got)
+	}
+	// A legacy body without the trailing layer bytes parses as 0/0.
+	var legacy []byte
+	legacy = binary.LittleEndian.AppendUint32(legacy, 2)
+	legacy = binary.LittleEndian.AppendUint32(legacy, 9)
+	legacy = append(legacy, 4, 0)
+	legacy = binary.LittleEndian.AppendUint32(legacy, 2)
+	legacy = append(legacy, 7, 7)
+	var m CellData
+	if err := m.parseBody(legacy); err != nil {
+		t.Fatalf("legacy CellData rejected: %v", err)
+	}
+	if m.Layers != 0 || m.BaseLayers != 0 || !bytes.Equal(m.Payload, []byte{7, 7}) {
+		t.Errorf("legacy parse got %+v", m)
+	}
+	// The new body is the legacy body plus exactly two trailing bytes, so
+	// an old parser (which reads the payload by its length prefix and
+	// ignores the rest) still sees the same fields.
+	full := (&CellData{Frame: 2, CellID: 9, Stride: 4, Payload: []byte{7, 7}, Layers: 3, BaseLayers: 1}).appendBody(nil)
+	if !bytes.Equal(full[:len(legacy)], legacy) || len(full) != len(legacy)+2 {
+		t.Error("layer fields are not a pure trailing extension of the legacy body")
+	}
+}
+
+func TestSegmentRequestLayerFieldsRoundTrip(t *testing.T) {
+	r := &SegmentRequest{Frame: 8, Cells: []CellRef{
+		{CellID: 1, Stride: 1, HaveLayers: 2, Token: 0xDEADBEEFCAFE},
+		{CellID: 5, Stride: 4},
+	}}
+	got := roundTrip(t, r).(*SegmentRequest)
+	if len(got.Cells) != 2 || got.Cells[0].HaveLayers != 2 ||
+		got.Cells[0].Token != 0xDEADBEEFCAFE || got.Cells[1].HaveLayers != 0 {
+		t.Errorf("got %+v", got.Cells)
+	}
+	// A legacy request (5-byte refs, no trailing layer array) parses with
+	// zeroed layer state.
+	var legacy []byte
+	legacy = binary.LittleEndian.AppendUint32(legacy, 8)
+	legacy = binary.LittleEndian.AppendUint16(legacy, 1)
+	legacy = binary.LittleEndian.AppendUint32(legacy, 5)
+	legacy = append(legacy, 2)
+	var m SegmentRequest
+	if err := m.parseBody(legacy); err != nil {
+		t.Fatalf("legacy SegmentRequest rejected: %v", err)
+	}
+	if len(m.Cells) != 1 || m.Cells[0].CellID != 5 || m.Cells[0].Stride != 2 ||
+		m.Cells[0].HaveLayers != 0 || m.Cells[0].Token != 0 {
+		t.Errorf("legacy parse got %+v", m.Cells)
+	}
+}
+
 func TestFrameCompleteAdaptBye(t *testing.T) {
 	fcGot := roundTrip(t, &FrameComplete{Frame: 5, Cells: 12, Bytes: 1 << 40}).(*FrameComplete)
 	if fcGot.Frame != 5 || fcGot.Cells != 12 || fcGot.Bytes != 1<<40 {
