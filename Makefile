@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test race vet fmt-check lint bench trace-smoke chaos-smoke loadtest-smoke latency-smoke slo-smoke layer-smoke verify
+.PHONY: build test race vet fmt-check lint lint-bench bench trace-smoke chaos-smoke loadtest-smoke latency-smoke slo-smoke layer-smoke verify
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,25 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# lint type-checks the module and runs the vollint suite — the seven
-# project-specific invariants of DESIGN.md §9 (determinism, lockedsend,
-# goroutinehygiene, tickleak, nilsafeobs, wireerr, bufrelease). Exit 1
-# on findings.
+# lint type-checks the module and runs the vollint suite — the ten
+# project-specific invariants of DESIGN.md §9: six per-package checks
+# (determinism, lockedsend, goroutinehygiene, tickleak, nilsafeobs,
+# wireerr) and four interprocedural ones on the module call graph
+# (lockorder, bufown, wireevolve, hotpathalloc). The committed
+# lint_baseline.json tolerates known findings; new findings and stale
+# entries exit 1 (run `vollint -update` to rewrite the baseline and
+# wire_schema.json after a deliberate change).
 lint:
-	$(GO) run ./cmd/vollint ./...
+	$(GO) run ./cmd/vollint -baseline lint_baseline.json ./...
+
+# lint-bench guards the lint suite's own latency: one full vollint run
+# over the module (all ten checks, call graph included) must finish
+# within 60 seconds, so the gate never comes to dominate CI.
+lint-bench:
+	@$(GO) build -o /tmp/vollint-bench ./cmd/vollint
+	@start=$$(date +%s); /tmp/vollint-bench -baseline lint_baseline.json ./... || exit 1; \
+	 end=$$(date +%s); d=$$((end-start)); echo "vollint ./... took $${d}s"; \
+	 if [ $$d -gt 60 ]; then echo "lint-bench: vollint exceeded the 60s budget"; exit 1; fi
 
 # bench snapshots the benchmark suite as $(BENCH_OUT) for cross-commit
 # diffing; benchjson echoes the run and fails when nothing parsed (so the

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -83,7 +85,19 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range lint.AnalyzerNames() {
+	// The full suite: six per-package checks plus the four
+	// interprocedural ones. A new analyzer must be added here (and to
+	// the docs) deliberately.
+	want := []string{
+		"determinism", "lockedsend", "goroutinehygiene", "tickleak",
+		"nilsafeobs", "wireerr",
+		"lockorder", "bufown", "wireevolve", "hotpathalloc",
+	}
+	names := lint.AnalyzerNames()
+	if len(names) != len(want) {
+		t.Errorf("AnalyzerNames() has %d checks, want %d: %v", len(names), len(want), names)
+	}
+	for _, name := range want {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -97,5 +111,165 @@ func TestRunUnknownCheck(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown check") {
 		t.Errorf("stderr missing diagnostic:\n%s", errb.String())
+	}
+}
+
+// loadTickleakFindings runs just the tickleak analyzer over its fixture
+// through the lint package, giving the baseline tests the exact findings
+// the CLI will see (so they never hard-code messages that may evolve).
+func loadTickleakFindings(t *testing.T) ([]lint.Finding, string) {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(tickleakFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var az []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if a.Name == "tickleak" {
+			az = append(az, a)
+		}
+	}
+	res := lint.Run(pkgs, az, lint.Options{})
+	if len(res.Findings) < 2 {
+		t.Fatalf("tickleak fixture yields %d findings, need >= 2", len(res.Findings))
+	}
+	return res.Findings, loader.ModDir
+}
+
+// TestRunBaselineSuppresses pins the tolerated half of the ratchet: a
+// baseline recording every current finding turns exit 1 into exit 0.
+func TestRunBaselineSuppresses(t *testing.T) {
+	findings, modDir := loadTickleakFindings(t)
+	base := filepath.Join(t.TempDir(), "base.json")
+	if err := lint.WriteBaseline(base, findings, modDir); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "tickleak", "-baseline", base, tickleakFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (fully baselined)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "baselined") {
+		t.Errorf("summary should mention baselined findings:\n%s", out.String())
+	}
+}
+
+// TestRunBaselineNewFinding pins the ratchet's teeth: a finding not in
+// the baseline still fails, and only the fresh one is printed.
+func TestRunBaselineNewFinding(t *testing.T) {
+	findings, modDir := loadTickleakFindings(t)
+	base := filepath.Join(t.TempDir(), "base.json")
+	if err := lint.WriteBaseline(base, findings[1:], modDir); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "tickleak", "-baseline", base, tickleakFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one finding outside the baseline)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if got := strings.Count(out.String(), ": tickleak: "); got != 1 {
+		t.Errorf("fresh findings printed = %d, want exactly 1 (the rest are baselined)\n%s", got, out.String())
+	}
+}
+
+// TestRunBaselineStaleEntry pins the shrink half of the ratchet: an
+// entry whose finding was fixed fails the run until -update removes it.
+func TestRunBaselineStaleEntry(t *testing.T) {
+	findings, modDir := loadTickleakFindings(t)
+	base := filepath.Join(t.TempDir(), "base.json")
+	if err := lint.WriteBaseline(base, findings, modDir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b lint.Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	b.Entries = append(b.Entries, lint.BaselineEntry{
+		Check: "tickleak", File: "internal/lint/testdata/tickleak/fixed.go",
+		Msg: "a finding that no longer exists", Count: 1,
+	})
+	raw, err = json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "tickleak", "-baseline", base, tickleakFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stale entry)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "stale baseline entry") {
+		t.Errorf("missing stale diagnostic:\n%s", out.String())
+	}
+}
+
+// TestRunUpdateFlow drives the documented workflow end to end inside a
+// throwaway module whose internal/wire is the wireevolve fixture:
+// -update writes the schema and baseline next to go.mod, the following
+// run is green, and deleting a committed trailing wire field turns the
+// same invocation red — the acceptance contract for the evolution gate.
+func TestRunUpdateFlow(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "internal", "lint", "testdata", "wireevolve", "wireevolve.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wireDir := filepath.Join(dir, "internal", "wire")
+	if err := os.MkdirAll(wireDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module volcast\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wireFile := filepath.Join(wireDir, "wire.go")
+	writeWire := func(contents string) {
+		t.Helper()
+		if err := os.WriteFile(wireFile, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixture := strings.Replace(string(src), "package wireevolve", "package wire", 1)
+	writeWire(fixture)
+	t.Chdir(dir)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "wireevolve", "-baseline", "lint_baseline.json", "-update", "./internal/wire"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-update exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, p := range []string{"lint_baseline.json", "wire_schema.json"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Errorf("-update did not write %s: %v", p, err)
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-checks", "wireevolve", "-baseline", "lint_baseline.json", "./internal/wire"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("post-update exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	// Deleting a committed trailing field (Welcome.Name) must fail the
+	// run even with the freshly written baseline in force.
+	writeWire(strings.Replace(fixture, "\tName string\n", "", 1))
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-checks", "wireevolve", "-baseline", "lint_baseline.json", "./internal/wire"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit after trailing-field delete = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "wireevolve") || !strings.Contains(out.String(), "Welcome") {
+		t.Errorf("missing wireevolve finding for Welcome:\n%s", out.String())
 	}
 }

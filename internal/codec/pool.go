@@ -12,6 +12,8 @@ import "sync"
 var qpointPool = sync.Pool{New: func() any { return new([]qpoint) }}
 
 // getQpoints returns a zero-length qpoint slice with capacity ≥ n.
+//
+//vollint:hotpath
 func getQpoints(n int) *[]qpoint {
 	p := qpointPool.Get().(*[]qpoint)
 	if cap(*p) < n {
@@ -27,6 +29,8 @@ func putQpoints(p *[]qpoint) { qpointPool.Put(p) }
 var u64Pool = sync.Pool{New: func() any { return new([]uint64) }}
 
 // getU64 returns a zero-length uint64 slice with capacity ≥ n.
+//
+//vollint:hotpath
 func getU64(n int) *[]uint64 {
 	p := u64Pool.Get().(*[]uint64)
 	if cap(*p) < n {
@@ -42,6 +46,8 @@ func putU64(p *[]uint64) { u64Pool.Put(p) }
 var i64Pool = sync.Pool{New: func() any { return new([]int64) }}
 
 // getI64 returns an int64 slice of length n (contents undefined).
+//
+//vollint:hotpath
 func getI64(n int) *[]int64 {
 	p := i64Pool.Get().(*[]int64)
 	if cap(*p) < n {
@@ -59,6 +65,8 @@ var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 // getBuf returns a zero-length byte slice with capacity ≥ n. A buffer
 // that ends up as a Block's Data is simply never returned; only buffers
 // discarded (the losing Auto variants) go back via putBuf.
+//
+//vollint:hotpath
 func getBuf(n int) []byte {
 	p := bufPool.Get().(*[]byte)
 	if cap(*p) < n {
@@ -85,6 +93,8 @@ var acPool = sync.Pool{New: func() any { return new(acScratch) }}
 
 // getAC returns scratch with the model reset and the encoder primed
 // (output truncated, state cleared).
+//
+//vollint:hotpath
 func getAC() *acScratch {
 	s := acPool.Get().(*acScratch)
 	s.enc = rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: s.enc.out[:0]}

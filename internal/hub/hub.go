@@ -125,6 +125,10 @@ type Hub struct {
 	cConnects, cDisconnects   *metrics.Counter
 	cRejects, cAcceptRetries  *metrics.Counter
 	cCreated, cReaped, cBuilt *metrics.Counter
+	// Hot-path counters, resolved once: enqueue and the write loop run
+	// per frame per subscriber, so they must not pay a registry lookup
+	// (hotpathalloc gates them).
+	cEnqueueDrops, cWriterDeaths *metrics.Counter
 }
 
 // buildFlight tracks one in-progress session build so concurrent first
@@ -202,6 +206,8 @@ func New(cfg Config) (*Hub, error) {
 	h.cCreated = cfg.Metrics.Counter("hub.sessions.created")
 	h.cReaped = cfg.Metrics.Counter("hub.sessions.reaped")
 	h.cBuilt = cfg.Metrics.Counter("hub.sessions.store_builds")
+	h.cEnqueueDrops = cfg.Metrics.Counter("transport.drops.enqueue")
+	h.cWriterDeaths = cfg.Metrics.Counter("transport.writer.deaths")
 	return h, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"volcast/internal/codec"
 	"volcast/internal/faultnet"
 	"volcast/internal/metrics"
 	"volcast/internal/obs"
@@ -400,4 +401,52 @@ func BenchmarkWriterSteadyState(b *testing.B) {
 	<-writerDone
 	conn.Close()
 	<-drained
+}
+
+// TestEnqueueDropUsesHoistedCounter pins the hot-path counter hoist:
+// session.enqueue charges drops to the *metrics.Counter resolved once in
+// New (Hub.cEnqueueDrops), not to a per-call registry lookup. The hoist
+// must still land every drop on the same registry key the dashboards
+// read, both hub-wide and per session.
+func TestEnqueueDropUsesHoistedCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h, err := New(Config{
+		NewStore: func(uint32, codec.BlockCache) (*vivo.Store, error) { return nil, nil },
+		Metrics:  reg,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown()
+	s := &session{hub: h}
+	s.cDropsEnqueue = reg.Counter("hub.session.0.drops.enqueue")
+	c := &subscriber{
+		out:   make(chan outBuf, 1),
+		done:  make(chan struct{}),
+		drain: make(chan struct{}),
+	}
+	fill := func() outBuf {
+		b, err := wire.NewBuffer(&wire.Ping{Seq: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outBuf{buf: b, fc: -1}
+	}
+	if !s.enqueue(c, fill()) {
+		t.Fatal("enqueue below queue depth failed")
+	}
+	const drops = 3
+	for i := 0; i < drops; i++ {
+		if s.enqueue(c, fill()) {
+			t.Fatal("enqueue above queue depth succeeded")
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport.drops.enqueue"]; got != drops {
+		t.Errorf("transport.drops.enqueue = %d, want %d", got, drops)
+	}
+	if got := snap.Counters["hub.session.0.drops.enqueue"]; got != drops {
+		t.Errorf("hub.session.0.drops.enqueue = %d, want %d", got, drops)
+	}
 }

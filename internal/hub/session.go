@@ -681,12 +681,86 @@ func (s *session) resolveBlock(fi int, id cell.ID, stride int) *codec.Block {
 // resident in cache and a slow peer's deadline still bites per batch.
 const maxWriteBatch = 64
 
+// batchWriter drains one subscriber's queue into vectored writes. Its
+// state lives in named fields rather than closure captures so the hot
+// flush path is a plain annotated method the hotpathalloc gate can
+// check; failure accounting (death counter, log line) stays with the
+// unannotated caller.
+type batchWriter struct {
+	s *session
+	c *subscriber
+	// batch and scratch persist across wakeups so the steady state
+	// allocates nothing: net.Buffers.WriteTo consumes the slice header it
+	// is given, so each batch wraps a fresh view of the same backing
+	// array, nilled out afterwards to not pin released buffers.
+	batch   []outBuf
+	scratch [][]byte
+	// sendStart/sendDur accumulate the Send span across partial batches
+	// until a FrameComplete closes it out.
+	sendStart time.Time
+	sendDur   time.Duration
+	// Deadline and send budget resolved once: the windowed miss/violation
+	// accounting below compares against them per delivered frame.
+	deadline   time.Duration
+	sendBudget time.Duration
+}
+
+// flush writes everything batched in one vectored write (net.Buffers →
+// writev on a TCP conn), records send spans and windowed delivery
+// latency for FrameComplete buffers, and releases every buffer whatever
+// the outcome. The caller owns counting and logging the returned socket
+// error.
+//
+//vollint:hotpath
+func (w *batchWriter) flush() error {
+	if len(w.batch) == 0 {
+		return nil
+	}
+	cfg := &w.s.hub.cfg
+	for i, b := range w.batch {
+		w.scratch[i] = b.buf.Bytes()
+	}
+	nb := net.Buffers(w.scratch[:len(w.batch)])
+	w.c.conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+	t0 := time.Now()
+	_, err := nb.WriteTo(w.c.conn)
+	if w.sendStart.IsZero() {
+		w.sendStart = t0
+	}
+	w.sendDur += time.Since(t0)
+	for i := range w.batch {
+		w.scratch[i] = nil
+	}
+	for _, b := range w.batch {
+		if err == nil && b.fc >= 0 {
+			cfg.Trace.Record(int(b.fc), int(w.c.sub), obs.StageSend, w.sendStart, w.sendDur)
+			if w.sendBudget > 0 && w.sendDur > w.sendBudget {
+				w.s.cViolSend.Inc()
+				w.s.wBudgetViol.Add(1)
+			}
+			w.sendStart, w.sendDur = time.Time{}, 0
+			// The frame is on the socket: t0→now is its delivered
+			// latency for the windowed SLO plane.
+			if !b.t0.IsZero() {
+				lat := time.Since(b.t0)
+				w.s.wFrameMS.Observe(float64(lat) / float64(time.Millisecond))
+				w.s.wFrames.Add(1)
+				if lat > w.deadline {
+					w.s.wMisses.Add(1)
+				}
+			}
+		}
+		b.buf.Release()
+	}
+	w.batch = w.batch[:0]
+	return err
+}
+
 // writeLoop is the connection's single owned writer. It drains the
-// outbound queue of pre-serialized pooled buffers, coalescing everything
-// queued at a wakeup into a single vectored write (net.Buffers → writev
-// on a TCP conn) instead of one syscall per message, emits heartbeat
-// pings, and — on drain — flushes what is queued before closing. Exiting
-// for any reason closes the connection and releases what was queued.
+// outbound queue of pre-serialized pooled buffers through a batchWriter,
+// emits heartbeat pings, and — on drain — flushes what is queued before
+// closing. Exiting for any reason closes the connection and releases
+// what was queued.
 func (s *session) writeLoop(c *subscriber) {
 	defer c.releaseQueued()
 	defer c.close()
@@ -698,79 +772,32 @@ func (s *session) writeLoop(c *subscriber) {
 		ping = t.C
 	}
 	var pingSeq uint32
-	var sendStart time.Time
-	var sendDur time.Duration
-	// Deadline and send budget resolved once: the windowed miss/violation
-	// accounting below compares against them per delivered frame.
-	deadline := cfg.Trace.Deadline()
-	sendBudget := cfg.Trace.StageBudget(obs.StageSend)
-	// batch and scratch persist across wakeups so the steady state
-	// allocates nothing: net.Buffers.WriteTo consumes the slice header it
-	// is given, so each batch wraps a fresh view of the same backing
-	// array, nilled out afterwards to not pin released buffers.
-	batch := make([]outBuf, 0, maxWriteBatch)
-	scratch := make([][]byte, maxWriteBatch)
+	w := &batchWriter{
+		s: s, c: c,
+		batch:      make([]outBuf, 0, maxWriteBatch),
+		scratch:    make([][]byte, maxWriteBatch),
+		deadline:   cfg.Trace.Deadline(),
+		sendBudget: cfg.Trace.StageBudget(obs.StageSend),
+	}
 	writeBatch := func() bool {
-		if len(batch) == 0 {
-			return true
-		}
-		for i, b := range batch {
-			scratch[i] = b.buf.Bytes()
-		}
-		nb := net.Buffers(scratch[:len(batch)])
-		c.conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
-		t0 := time.Now()
-		_, err := nb.WriteTo(c.conn)
-		if sendStart.IsZero() {
-			sendStart = t0
-		}
-		sendDur += time.Since(t0)
-		for i := range batch {
-			scratch[i] = nil
-		}
-		for _, b := range batch {
-			if err == nil && b.fc >= 0 {
-				if sendStart.IsZero() {
-					sendStart = t0
-				}
-				cfg.Trace.Record(int(b.fc), int(c.sub), obs.StageSend, sendStart, sendDur)
-				if sendBudget > 0 && sendDur > sendBudget {
-					s.cViolSend.Inc()
-					s.wBudgetViol.Add(1)
-				}
-				sendStart, sendDur = time.Time{}, 0
-				// The frame is on the socket: t0→now is its delivered
-				// latency for the windowed SLO plane.
-				if !b.t0.IsZero() {
-					lat := time.Since(b.t0)
-					s.wFrameMS.Observe(float64(lat) / float64(time.Millisecond))
-					s.wFrames.Add(1)
-					if lat > deadline {
-						s.wMisses.Add(1)
-					}
-				}
-			}
-			b.buf.Release()
-		}
-		batch = batch[:0]
+		err := w.flush()
 		if err != nil {
-			cfg.Metrics.Counter("transport.writer.deaths").Inc()
+			s.hub.cWriterDeaths.Inc()
 			cfg.Logf("hub: client %d writer died: %v", c.id, err)
-			return false
 		}
-		return true
+		return err == nil
 	}
 	for {
 		select {
 		case b := <-c.out:
-			batch = append(batch, b)
+			w.batch = append(w.batch, b)
 			// Coalesce whatever else is already queued into the same
 			// vectored write.
 		coalesce:
-			for len(batch) < maxWriteBatch {
+			for len(w.batch) < maxWriteBatch {
 				select {
 				case nb := <-c.out:
-					batch = append(batch, nb)
+					w.batch = append(w.batch, nb)
 				default:
 					break coalesce
 				}
@@ -785,7 +812,7 @@ func (s *session) writeLoop(c *subscriber) {
 			if err != nil {
 				return
 			}
-			batch = append(batch, outBuf{buf: pb, fc: -1})
+			w.batch = append(w.batch, outBuf{buf: pb, fc: -1})
 			if !writeBatch() {
 				return
 			}
@@ -1010,7 +1037,9 @@ func (s *session) adapt(c *subscriber, burst int) int {
 // media. The call consumes exactly one buffer reference regardless of
 // outcome — on success it transfers to the writer, on failure it is
 // released here — so callers never touch the buffer again after an
-// enqueue (the vollint bufrelease check enforces this).
+// enqueue (the vollint bufown check enforces this).
+//
+//vollint:hotpath
 func (s *session) enqueue(c *subscriber, b outBuf) bool {
 	select {
 	case <-c.done:
@@ -1019,7 +1048,7 @@ func (s *session) enqueue(c *subscriber, b outBuf) bool {
 	case c.out <- b:
 		return true
 	default:
-		s.hub.cfg.Metrics.Counter("transport.drops.enqueue").Inc()
+		s.hub.cEnqueueDrops.Inc()
 		s.cDropsEnqueue.Inc()
 		b.buf.Release()
 		return false

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The baseline ratchet makes vollint adoptable on a tree with known
+// findings without ever letting new ones in: lint_baseline.json records
+// the tolerated findings keyed by (check, module-relative file, message)
+// with a count per key. A run with -baseline exits 0 when every finding
+// matches the baseline, 1 when a finding is new OR when a baseline entry
+// no longer matches anything — a fixed finding must be removed from the
+// file (vollint -update rewrites it), so the baseline only ever shrinks.
+
+// BaselineEntry is one tolerated finding key.
+type BaselineEntry struct {
+	Check string `json:"check"`
+	File  string `json:"file"` // module-relative, slash-separated
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the committed set of tolerated findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// baselineKey normalizes a finding to its baseline identity. Line
+// numbers are deliberately absent: unrelated edits above a tolerated
+// finding must not invalidate the baseline.
+func baselineKey(f Finding, modDir string) BaselineEntry {
+	file := f.File
+	if rel, err := filepath.Rel(modDir, f.File); err == nil {
+		file = rel
+	}
+	return BaselineEntry{Check: f.Check, File: filepath.ToSlash(file), Msg: f.Msg}
+}
+
+// Apply splits findings into fresh (not covered) and tolerated (covered
+// by the baseline), and returns the stale entries whose counts exceed
+// what the tree still produces.
+func (b *Baseline) Apply(findings []Finding, modDir string) (fresh, tolerated []Finding, stale []BaselineEntry) {
+	remaining := map[BaselineEntry]int{}
+	for _, e := range b.Entries {
+		key := e
+		key.Count = 0
+		remaining[key] += e.Count
+	}
+	for _, f := range findings {
+		key := baselineKey(f, modDir)
+		if remaining[key] > 0 {
+			remaining[key]--
+			tolerated = append(tolerated, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for key, n := range remaining {
+		if n > 0 {
+			key.Count = n
+			stale = append(stale, key)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		if stale[i].Check != stale[j].Check {
+			return stale[i].Check < stale[j].Check
+		}
+		return stale[i].Msg < stale[j].Msg
+	})
+	return fresh, tolerated, stale
+}
+
+// WriteBaseline records the given findings as the new tolerated set.
+func WriteBaseline(path string, findings []Finding, modDir string) error {
+	counts := map[BaselineEntry]int{}
+	for _, f := range findings {
+		counts[baselineKey(f, modDir)]++
+	}
+	b := Baseline{Entries: []BaselineEntry{}}
+	for key, n := range counts {
+		key.Count = n
+		b.Entries = append(b.Entries, key)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		ei, ej := b.Entries[i], b.Entries[j]
+		if ei.File != ej.File {
+			return ei.File < ej.File
+		}
+		if ei.Check != ej.Check {
+			return ei.Check < ej.Check
+		}
+		return ei.Msg < ej.Msg
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,1074 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// bufown tracks wire.Buffer reference ownership across function
+// boundaries. The protocol (DESIGN.md §11): NewBuffer returns one owned
+// reference; handing the buffer to a consuming callee (one that
+// releases or enqueues its parameter on every path) spends that
+// reference; Retain(n) buys n more. The check classifies every
+// buffer-carrying parameter in hub/transport/wire as consuming,
+// borrowing, or opaque by a fixpoint over the call graph, then walks
+// every function body with a per-path credit counter: a second consume
+// at credit zero is a double release, any other use at credit zero is a
+// use-after-consume, and an early return between acquiring an owned
+// reference and its first hand-off is a leak.
+//
+// Conservatism: aliases, stores into locals, captures and hand-offs to
+// unknown or opaque callees stop tracking (no finding is ever produced
+// past a point the analysis cannot follow); branches are explored on a
+// copy of the credit state; error-guard returns right after an
+// acquisition (`b, err := wire.NewBuffer(m); if err != nil { return }`)
+// are exempt from the leak rule because the buffer is nil on that path.
+
+const wirePkgPath = "volcast/internal/wire"
+
+// bufOwnPackages are the packages whose functions are analyzed.
+var bufOwnPackages = map[string]bool{
+	"volcast/internal/hub":       true,
+	"volcast/internal/transport": true,
+	wirePkgPath:                  true,
+}
+
+var analyzerBufOwn = &Analyzer{
+	Name: "bufown",
+	Doc: "wire.Buffer ownership must transfer cleanly across function boundaries: " +
+		"no double release, no use after consume, no leak on early-return paths",
+	RunModule: runBufOwn,
+}
+
+// ownKind classifies what a callee does with a buffer-carrying
+// parameter.
+type ownKind int
+
+const (
+	ownBorrow  ownKind = iota // uses the reference, spends nothing
+	ownConsume                // spends exactly one reference on every path
+	ownOpaque                 // untrackable: callers stop tracking
+)
+
+func runBufOwn(p *ModulePass) {
+	kinds := classifyParams(p)
+	for _, node := range p.Graph.Funcs() {
+		if !bufOwnPackages[node.Pkg.Path] || skipBufOwnFunc(node) {
+			continue
+		}
+		checkBody(p, node.Pkg, node.Decl.Type, node.Decl.Body, kinds)
+	}
+}
+
+// skipBufOwnFunc excludes wire.Buffer's own method set and constructor:
+// they implement the refcount and legitimately touch it in ways the
+// ownership model forbids everywhere else.
+func skipBufOwnFunc(node *FuncNode) bool {
+	if node.Pkg.Path != wirePkgPath {
+		return false
+	}
+	if node.Fn.Name() == "NewBuffer" {
+		return true
+	}
+	return recvName(node.Fn) == "Buffer"
+}
+
+// isBufferPtr reports whether t is *wire.Buffer.
+func isBufferPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamedType(ptr.Elem(), wirePkgPath, "Buffer")
+}
+
+// isBufferCarrier reports whether a value of type t carries a buffer
+// reference: *wire.Buffer itself, or a struct value with a *wire.Buffer
+// field (hub's outBuf).
+func isBufferCarrier(t types.Type) bool {
+	if isBufferPtr(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isBufferPtr(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- callee-side parameter classification -------------------------------
+
+// classifyParams computes the ownKind of every buffer-carrying parameter
+// of every in-scope module function, iterating to a fixpoint because a
+// parameter's kind can depend on the kind of the parameter it is passed
+// on to.
+func classifyParams(p *ModulePass) map[*types.Var]ownKind {
+	kinds := map[*types.Var]ownKind{}
+	type candidate struct {
+		node  *FuncNode
+		param *types.Var
+		ident *ast.Ident
+	}
+	var cands []candidate
+	for _, node := range p.Graph.Funcs() {
+		if !bufOwnPackages[node.Pkg.Path] || skipBufOwnFunc(node) || node.Decl.Type.Params == nil {
+			continue
+		}
+		for _, field := range node.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				v, ok := node.Pkg.Info.Defs[name].(*types.Var)
+				if !ok || !isBufferCarrier(v.Type()) {
+					continue
+				}
+				kinds[v] = ownBorrow
+				cands = append(cands, candidate{node, v, name})
+			}
+		}
+	}
+	fnParams := map[*FuncNode]map[*types.Var]bool{}
+	for _, c := range cands {
+		if fnParams[c.node] != nil {
+			continue
+		}
+		set := map[*types.Var]bool{}
+		sig := c.node.Fn.Type().(*types.Signature)
+		if sig.Recv() != nil {
+			set[sig.Recv()] = true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			set[sig.Params().At(i)] = true
+		}
+		fnParams[c.node] = set
+	}
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, c := range cands {
+			if kinds[c.param] == ownOpaque {
+				continue
+			}
+			cl := &paramClassifier{pkg: c.node.Pkg, param: c.param, kinds: kinds, fnParams: fnParams[c.node]}
+			score := cl.stmts(c.node.Decl.Body.List)
+			next := kinds[c.param]
+			switch {
+			case cl.opaque:
+				next = ownOpaque
+			case score >= 1:
+				next = ownConsume
+			}
+			if next != kinds[c.param] {
+				kinds[c.param] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return kinds
+}
+
+// paramClassifier scores one parameter over one body: +1 per reference
+// the function spends, -n per Retain(n), branches contribute the
+// maximum of their arms (a callee that consumes on any path must be
+// treated as consuming by callers).
+type paramClassifier struct {
+	pkg   *Package
+	param *types.Var
+	kinds map[*types.Var]ownKind
+	// fnParams holds the function's own parameters and receiver: a store
+	// into a container rooted at one of them escapes to the caller.
+	fnParams map[*types.Var]bool
+	opaque   bool
+}
+
+func (c *paramClassifier) stmts(list []ast.Stmt) int {
+	total := 0
+	for _, s := range list {
+		total += c.stmt(s)
+	}
+	return total
+}
+
+func (c *paramClassifier) stmt(s ast.Stmt) int {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(s.List)
+	case *ast.ExprStmt:
+		return c.expr(s.X)
+	case *ast.IfStmt:
+		d := 0
+		if s.Init != nil {
+			d += c.stmt(s.Init)
+		}
+		d += c.expr(s.Cond)
+		arms := c.stmt(s.Body)
+		alt := 0
+		if s.Else != nil {
+			alt = c.stmt(s.Else)
+		}
+		return d + maxInt(arms, alt)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branchMax(s)
+	case *ast.ForStmt:
+		d := 0
+		if s.Init != nil {
+			d += c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			d += c.expr(s.Cond)
+		}
+		return d + maxInt(c.stmt(s.Body), 0)
+	case *ast.RangeStmt:
+		return c.expr(s.X) + maxInt(c.stmt(s.Body), 0)
+	case *ast.ReturnStmt:
+		d := 0
+		for _, e := range s.Results {
+			if c.mentionsParam(e) {
+				c.opaque = true // ownership flows back out: untrackable
+			}
+			d += c.expr(e)
+		}
+		return d
+	case *ast.AssignStmt:
+		d := 0
+		for _, e := range s.Rhs {
+			d += c.expr(e)
+		}
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) && c.mentionsParam(s.Rhs[i]) {
+				if isBufferCarrier(typeOf(c.pkg, s.Rhs[i])) {
+					d += c.storeDelta(lhs)
+				}
+			}
+			d += c.expr(lhs)
+		}
+		return d
+	case *ast.SendStmt:
+		d := c.expr(s.Chan)
+		if c.mentionsParam(s.Value) {
+			d++
+		} else {
+			d += c.expr(s.Value)
+		}
+		return d
+	case *ast.DeferStmt:
+		return c.expr(s.Call)
+	case *ast.GoStmt:
+		if c.mentionsParam(s.Call) {
+			c.opaque = true
+		}
+		return 0
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		return c.expr(s.Decl)
+	case *ast.IncDecStmt:
+		return c.expr(s.X)
+	}
+	return 0
+}
+
+// branchMax handles switch/select: sequential prelude plus the maximum
+// arm.
+func (c *paramClassifier) branchMax(s ast.Stmt) int {
+	d, best := 0, 0
+	arm := func(list []ast.Stmt, comm ast.Stmt) {
+		v := 0
+		if comm != nil {
+			v += c.stmt(comm)
+		}
+		v += c.stmts(list)
+		if v > best {
+			best = v
+		}
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			d += c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			d += c.expr(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			arm(cl.(*ast.CaseClause).Body, nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			d += c.stmt(s.Init)
+		}
+		for _, cl := range s.Body.List {
+			arm(cl.(*ast.CaseClause).Body, nil)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			arm(cc.Body, cc.Comm)
+		}
+	}
+	return d + best
+}
+
+// expr scores calls inside one expression tree.
+func (c *paramClassifier) expr(n ast.Node) int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if c.mentionsParam(n) {
+				c.opaque = true // captured by a closure: untrackable
+			}
+			return false
+		case *ast.CallExpr:
+			d += c.callDelta(n)
+		}
+		return true
+	})
+	return d
+}
+
+// callDelta scores one call: Release/Retain on the parameter (or its
+// buffer field), or passing the parameter to another classified
+// parameter.
+func (c *paramClassifier) callDelta(call *ast.CallExpr) int {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && c.rootedAtParam(sel.X) {
+		if recv, name, typ, ok := methodCall(c.pkg, call); ok && isNamedType(typ, wirePkgPath, "Buffer") {
+			_ = recv
+			switch name {
+			case "Release":
+				return 1
+			case "Retain":
+				return -retainCount(call)
+			}
+			return 0
+		}
+	}
+	// Passing the parameter (possibly wrapped in a carrier literal) on.
+	delta := 0
+	params := calleeParams(c.pkg, call)
+	for i, arg := range call.Args {
+		if !(argIsVar(c.pkg, arg, c.param) || wrapsVar(c.pkg, arg, c.param)) {
+			continue
+		}
+		if params == nil || i >= len(params) {
+			c.opaque = true
+			continue
+		}
+		switch c.kinds[params[i]] {
+		case ownConsume:
+			delta++
+		case ownBorrow:
+			// spends nothing
+		default:
+			c.opaque = true
+		}
+	}
+	return delta
+}
+
+// storeDelta scores an assignment of the parameter into lhs: a store
+// that escapes to the caller (rooted at a parameter/receiver or a
+// package-level variable) consumes a reference; a store into a plain
+// local is untrackable.
+func (c *paramClassifier) storeDelta(lhs ast.Expr) int {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		c.opaque = true // alias
+	case *ast.IndexExpr, *ast.SelectorExpr:
+		root, ok := rootVar(c.pkg, l)
+		if ok && (c.fnParams[root] || !isLocalVar(root)) {
+			return 1
+		}
+		c.opaque = true
+	default:
+		c.opaque = true
+	}
+	return 0
+}
+
+func (c *paramClassifier) mentionsParam(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pkg.Info.Uses[id] == c.param {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *paramClassifier) rootedAtParam(e ast.Expr) bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return c.pkg.Info.Uses[x] == c.param
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// --- caller-side credit tracking ----------------------------------------
+
+// bufEventKind is one ownership-relevant event on a tracked variable,
+// in source order, used by the leak scan.
+type bufEventKind int
+
+const (
+	evAcquire bufEventKind = iota
+	evConsume              // a reference was spent here
+	evStop                 // tracking ends here (alias, escape, unknown callee)
+)
+
+type bufEvent struct {
+	v    *types.Var
+	kind bufEventKind
+	pos  token.Pos
+}
+
+// bufTrack is one tracked variable's per-path state.
+type bufTrack struct {
+	name    string
+	credit  int
+	stopped bool
+}
+
+// bufWalker walks one function body in statement order with a per-path
+// credit per tracked buffer.
+type bufWalker struct {
+	p     *ModulePass
+	pkg   *Package
+	kinds map[*types.Var]ownKind
+	state map[*types.Var]*bufTrack
+	// events collects the source-order ownership events for the leak
+	// scan; branch copies share the sink.
+	events *[]bufEvent
+	// lits queues nested function literals for their own analysis.
+	lits *[]*ast.FuncLit
+}
+
+// checkBody analyzes one function (or literal) body: the credit walk
+// reports double releases and uses after consume; the event trail then
+// drives the early-return leak scan. Buffer-carrying parameters start
+// with one credit; locals acquired from buffer-returning calls are
+// tracked from their acquisition.
+func checkBody(p *ModulePass, pkg *Package, ftype *ast.FuncType, body *ast.BlockStmt, kinds map[*types.Var]ownKind) {
+	if body == nil {
+		return
+	}
+	var events []bufEvent
+	var lits []*ast.FuncLit
+	w := &bufWalker{p: p, pkg: pkg, kinds: kinds, state: map[*types.Var]*bufTrack{}, events: &events, lits: &lits}
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok && isBufferCarrier(v.Type()) {
+					w.state[v] = &bufTrack{name: name.Name, credit: 1}
+				}
+			}
+		}
+	}
+	w.walkStmts(body.List)
+	reportLeaks(p, pkg, body, events)
+	for i := 0; i < len(lits); i++ {
+		checkBody(p, pkg, lits[i].Type, lits[i].Body, kinds)
+	}
+}
+
+func (w *bufWalker) copyState() map[*types.Var]*bufTrack {
+	c := make(map[*types.Var]*bufTrack, len(w.state))
+	for k, v := range w.state {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+// branch walks statements on a copy of the credit state.
+func (w *bufWalker) branch(stmts ...ast.Stmt) {
+	saved := w.state
+	w.state = w.copyState()
+	w.walkStmts(stmts)
+	w.state = saved
+}
+
+func (w *bufWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		if w.walkStmt(s) {
+			return // unreachable after return
+		}
+	}
+}
+
+func (w *bufWalker) walkStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		if v, ok := w.trackedIn(s.Value); ok {
+			w.consume(v, s.Arrow, "sent on a channel")
+		} else {
+			w.scanExpr(s.Value)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e)
+		}
+		// Ownership of anything mentioned in the results leaves this
+		// function (returned outright or handed to the call computing
+		// the result); stop tracking rather than guess.
+		for v, t := range w.state {
+			if !t.stopped && mentionsVar(w.pkg, s, v) {
+				w.stop(v, s.Pos())
+			}
+		}
+		return true
+	case *ast.DeferStmt:
+		w.handleCall(s.Call, s.Pos())
+	case *ast.GoStmt:
+		// Anything handed to another goroutine is out of reach.
+		for v, t := range w.state {
+			if !t.stopped && mentionsVar(w.pkg, s, v) {
+				w.stop(v, s.Pos())
+			}
+		}
+		for _, arg := range s.Call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				*w.lits = append(*w.lits, lit)
+			}
+		}
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			*w.lits = append(*w.lits, lit)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.branch(s.Body)
+		if s.Else != nil {
+			w.branch(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		w.branch(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			w.branch(cl.(*ast.CaseClause).Body...)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, cl := range s.Body.List {
+			w.branch(cl.(*ast.CaseClause).Body...)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			arm := cc.Body
+			if cc.Comm != nil {
+				arm = append([]ast.Stmt{cc.Comm}, arm...)
+			}
+			w.branch(arm...)
+		}
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		w.scanExpr(s.Decl)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X)
+	}
+	return false
+}
+
+// assign handles acquisitions, aliases, overwrites and stores.
+func (w *bufWalker) assign(s *ast.AssignStmt) {
+	for _, e := range s.Rhs {
+		w.scanExpr(e)
+	}
+	// Acquisition: `b := f()` or `b, err := f()` where f returns an
+	// owned *wire.Buffer (module convention: every returned buffer is
+	// owned by the caller).
+	if len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok && !isConversion(w.pkg, call) && returnsBuffer(w.pkg, call) {
+			if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				if v := objOf(w.pkg, id); v != nil {
+					if t, tracked := w.state[v]; tracked && !t.stopped {
+						// Overwrite: the old reference is gone.
+						w.stop(v, s.Pos())
+					}
+					w.state[v] = &bufTrack{name: id.Name, credit: 1}
+					*w.events = append(*w.events, bufEvent{v, evAcquire, call.Pos()})
+				}
+			}
+			return
+		}
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		rhsVar, rhsTracked := w.trackedIn(s.Rhs[i])
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if v := objOf(w.pkg, l); v != nil {
+				if t, tracked := w.state[v]; tracked && !t.stopped {
+					w.stop(v, s.Pos()) // overwritten
+				}
+			}
+			if rhsTracked {
+				w.stop(rhsVar, s.Pos()) // aliased
+			}
+		case *ast.IndexExpr, *ast.SelectorExpr:
+			if !rhsTracked {
+				continue
+			}
+			if root, ok := rootVar(w.pkg, l); ok && isLocalVar(root) {
+				w.stop(rhsVar, s.Pos()) // stored into a local container
+			} else {
+				w.consume(rhsVar, s.Pos(), "stored into a shared structure")
+			}
+		default:
+			if rhsTracked {
+				w.stop(rhsVar, s.Pos())
+			}
+		}
+	}
+}
+
+// scanExpr processes one expression tree in source order: calls apply
+// their ownership effects; function literals are queued and anything
+// they capture stops.
+func (w *bufWalker) scanExpr(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			*w.lits = append(*w.lits, n)
+			for v, t := range w.state {
+				if !t.stopped && mentionsVar(w.pkg, n, v) {
+					w.stop(v, n.Pos())
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n, n.Pos())
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's effect on every tracked variable it
+// touches.
+func (w *bufWalker) handleCall(call *ast.CallExpr, pos token.Pos) {
+	if isConversion(w.pkg, call) {
+		return
+	}
+	// Method on (a field of) a tracked variable.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if root, ok := rootVar(w.pkg, sel.X); ok {
+			if t, tracked := w.state[root]; tracked && !t.stopped {
+				if _, name, typ, ok := methodCall(w.pkg, call); ok && isNamedType(typ, wirePkgPath, "Buffer") {
+					switch name {
+					case "Release":
+						w.consume(root, pos, "released")
+					case "Retain":
+						t.credit += retainCount(call)
+					default:
+						w.use(root, pos)
+					}
+					return
+				}
+				w.use(root, pos)
+				return
+			}
+		}
+	}
+	// Tracked variables passed as arguments.
+	params := calleeParams(w.pkg, call)
+	for i, arg := range call.Args {
+		v, tracked := w.trackedIn(arg)
+		if !tracked {
+			continue
+		}
+		if params == nil || i >= len(params) {
+			w.stop(v, arg.Pos()) // unknown or external callee
+			continue
+		}
+		switch w.kinds[params[i]] {
+		case ownConsume:
+			w.consume(v, arg.Pos(), "handed to a consuming callee")
+		case ownBorrow:
+			w.use(v, arg.Pos())
+		default:
+			w.stop(v, arg.Pos())
+		}
+	}
+}
+
+// trackedIn reports the live tracked variable that e is (or wraps in a
+// carrier literal).
+func (w *bufWalker) trackedIn(e ast.Expr) (*types.Var, bool) {
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if v, isVar := w.pkg.Info.Uses[id].(*types.Var); isVar {
+			if t, tracked := w.state[v]; tracked && !t.stopped {
+				return v, true
+			}
+		}
+		return nil, false
+	}
+	if lit, ok := unparen(e).(*ast.CompositeLit); ok && isBufferCarrier(typeOf(w.pkg, lit)) {
+		for _, el := range lit.Elts {
+			x := el
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				x = kv.Value
+			}
+			if v, tracked := w.trackedIn(x); tracked {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (w *bufWalker) consume(v *types.Var, pos token.Pos, what string) {
+	t := w.state[v]
+	if t == nil || t.stopped {
+		return
+	}
+	*w.events = append(*w.events, bufEvent{v, evConsume, pos})
+	if t.credit <= 0 {
+		w.p.Reportf(pos, "Retain the buffer before sharing it, or drop the extra release",
+			"wire.Buffer %q %s after its reference was already consumed (double release)", t.name, what)
+		return
+	}
+	t.credit--
+}
+
+func (w *bufWalker) use(v *types.Var, pos token.Pos) {
+	t := w.state[v]
+	if t == nil || t.stopped {
+		return
+	}
+	if t.credit <= 0 {
+		w.p.Reportf(pos, "use the buffer before handing its reference off, or Retain an extra reference",
+			"wire.Buffer %q used after its reference was consumed", t.name)
+	}
+}
+
+func (w *bufWalker) stop(v *types.Var, pos token.Pos) {
+	t := w.state[v]
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	*w.events = append(*w.events, bufEvent{v, evStop, pos})
+}
+
+// mentionsVar reports whether the subtree references v.
+func mentionsVar(pkg *Package, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// objOf resolves an identifier to its variable (definition or use).
+func objOf(pkg *Package, id *ast.Ident) *types.Var {
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// returnsBuffer reports whether the call yields an owned *wire.Buffer
+// (single value or first element of a tuple).
+func returnsBuffer(pkg *Package, call *ast.CallExpr) bool {
+	t := typeOf(pkg, call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(0).Type()
+	}
+	return isBufferPtr(t)
+}
+
+// --- early-return leak scan ---------------------------------------------
+
+// retInfo is one return statement with its guard context.
+type retInfo struct {
+	pos token.Pos
+	// mentions is the set of tracked-relevant variables the return's
+	// subtree references.
+	stmt *ast.ReturnStmt
+	// guards holds every variable mentioned in the conditions of the
+	// if-statements enclosing the return: `if err != nil { return err }`
+	// guards the return with err.
+	guards map[*types.Var]bool
+}
+
+// reportLeaks flags returns that exit between acquiring an owned buffer
+// and its first consume/stop, unless guarded by the acquisition's error
+// variable or a nil-check of the buffer itself, or mentioning the buffer
+// (which transfers it out).
+func reportLeaks(p *ModulePass, pkg *Package, body *ast.BlockStmt, events []bufEvent) {
+	if len(events) == 0 {
+		return
+	}
+	returns := collectReturns(pkg, body)
+	errVars := acquisitionErrVars(pkg, body)
+
+	for i, ev := range events {
+		if ev.kind != evAcquire {
+			continue
+		}
+		// First consume/stop for this variable after the acquisition.
+		release := token.NoPos
+		for _, later := range events[i+1:] {
+			if later.v != ev.v {
+				continue
+			}
+			if later.kind == evConsume || later.kind == evStop {
+				release = later.pos
+			}
+			break // next event for v decides either way
+		}
+		errVar := errVars[ev.pos]
+		if release == token.NoPos {
+			exempt := false
+			for _, r := range returns {
+				if r.pos > ev.pos && (mentionsVar(pkg, r.stmt, ev.v) || r.guards[ev.v]) {
+					exempt = true
+					break
+				}
+			}
+			if !exempt {
+				p.Reportf(ev.pos, "Release the buffer or hand its reference off before the function ends",
+					"owned wire.Buffer acquired here is never released or handed off")
+			}
+			continue
+		}
+		for _, r := range returns {
+			if r.pos <= ev.pos || r.pos >= release {
+				continue
+			}
+			if mentionsVar(pkg, r.stmt, ev.v) || r.guards[ev.v] || (errVar != nil && r.guards[errVar]) {
+				continue
+			}
+			p.Reportf(r.pos, "Release the buffer on this path before returning",
+				"early return leaks the owned wire.Buffer acquired at line %d",
+				pkg.Fset.Position(ev.pos).Line)
+		}
+	}
+}
+
+// collectReturns gathers the function's own return statements (not those
+// of nested literals) with the guard variables of their enclosing ifs.
+func collectReturns(pkg *Package, body *ast.BlockStmt) []retInfo {
+	var out []retInfo
+	var walk func(n ast.Node, guards map[*types.Var]bool)
+	walk = func(n ast.Node, guards map[*types.Var]bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // a literal's returns do not exit this function
+			case *ast.IfStmt:
+				inner := make(map[*types.Var]bool, len(guards))
+				for k := range guards {
+					inner[k] = true
+				}
+				ast.Inspect(n.Cond, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok {
+						if v, isVar := pkg.Info.Uses[id].(*types.Var); isVar {
+							inner[v] = true
+						}
+					}
+					return true
+				})
+				if n.Init != nil {
+					walk(n.Init, guards)
+				}
+				walk(n.Body, inner)
+				if n.Else != nil {
+					walk(n.Else, inner)
+				}
+				return false
+			case *ast.ReturnStmt:
+				out = append(out, retInfo{pos: n.Pos(), stmt: n, guards: guards})
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, map[*types.Var]bool{})
+	return out
+}
+
+// acquisitionErrVars maps an acquisition call position to the error
+// variable assigned alongside it (`b, err := wire.NewBuffer(m)` → err).
+func acquisitionErrVars(pkg *Package, body *ast.BlockStmt) map[token.Pos]*types.Var {
+	out := map[token.Pos]*types.Var{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Rhs) != 1 || len(s.Lhs) != 2 {
+			return true
+		}
+		call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || !returnsBuffer(pkg, call) {
+			return true
+		}
+		if id, ok := unparen(s.Lhs[1]).(*ast.Ident); ok {
+			if v := objOf(pkg, id); v != nil {
+				out[call.Pos()] = v
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- shared helpers ------------------------------------------------------
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// retainCount reads the constant argument of Retain(n), defaulting to 1.
+func retainCount(call *ast.CallExpr) int {
+	if len(call.Args) != 1 {
+		return 1
+	}
+	if lit, ok := unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.INT {
+		if n, err := strconv.Atoi(lit.Value); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// calleeParams returns the declared parameter objects of a resolved
+// module call, or nil when the callee is unknown or external.
+func calleeParams(pkg *Package, call *ast.CallExpr) []*types.Var {
+	fn := resolveCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || !bufOwnPackages[fn.Pkg().Path()] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]*types.Var, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		out[i] = sig.Params().At(i)
+	}
+	return out
+}
+
+// argIsVar reports whether arg is exactly the given variable.
+func argIsVar(pkg *Package, arg ast.Expr, v *types.Var) bool {
+	id, ok := unparen(arg).(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == v
+}
+
+// wrapsVar reports whether arg is a carrier composite literal with v as
+// a field value (outBuf{buf: v}).
+func wrapsVar(pkg *Package, arg ast.Expr, v *types.Var) bool {
+	lit, ok := unparen(arg).(*ast.CompositeLit)
+	if !ok || !isBufferCarrier(typeOf(pkg, lit)) {
+		return false
+	}
+	for _, el := range lit.Elts {
+		e := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if argIsVar(pkg, e, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootVar returns the variable at the leftmost identifier of a
+// selector/index chain.
+func rootVar(pkg *Package, e ast.Expr) (*types.Var, bool) {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pkg.Info.Uses[x].(*types.Var)
+			return v, ok
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isLocalVar reports whether v is function-scoped (a local, parameter,
+// or closure capture) rather than a package-level variable or field.
+func isLocalVar(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() != nil && v.Parent() != v.Pkg().Scope()
+}

@@ -6,10 +6,20 @@
 // sim-path packages must not read the wall clock or the global math/rand
 // (determinism). Hot-path goroutines must be cancellable and leak-free
 // (goroutinehygiene, tickleak, lockedsend). The observability layers must
-// stay nil-safe (nilsafeobs), the transport must never silently drop
-// a write error (wireerr), and a pooled wire.Buffer reference handed to
-// an enqueue must never be released through the same binding afterwards
-// (bufrelease).
+// stay nil-safe (nilsafeobs), and the transport must never silently drop
+// a write error (wireerr).
+//
+// On top of the per-package checks sits an interprocedural layer — a
+// module-wide call graph with per-function summaries (callgraph.go,
+// summary.go) — carrying four whole-module checks: lockorder (mutex
+// acquisition order across hub/session/transport/blockcache must stay
+// acyclic and follow the declared hierarchy), bufown (wire.Buffer
+// reference ownership must transfer cleanly across function boundaries:
+// no use-after-consume, double-release, or early-return leaks),
+// wireevolve (the wire protocol may only evolve by appending trailing
+// fields and flag bits, checked against the committed wire_schema.json),
+// and hotpathalloc (functions annotated //vollint:hotpath must not reach
+// an allocation site outside a pool).
 //
 // Findings carry file:line, the check name and a one-line fix hint. A
 // deliberate exception is suppressed — with an audit trail — by a
@@ -51,15 +61,19 @@ func (f Finding) String() string {
 	return s
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Exactly one of Run (per-package) and
+// RunModule (whole-module, with the call graph) is set.
 type Analyzer struct {
 	Name string
 	// Doc is the invariant the check enforces, one sentence.
 	Doc string
 	Run func(*Pass)
+	// RunModule runs once over every loaded package with the shared call
+	// graph — the interprocedural checks live here.
+	RunModule func(*ModulePass)
 }
 
-// Pass is one analyzer's run over one package.
+// Pass is one per-package analyzer's run over one package.
 type Pass struct {
 	Pkg      *Package
 	check    string
@@ -79,6 +93,44 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 	})
 }
 
+// ModulePass is one whole-module analyzer's run. All packages share one
+// FileSet (the loader guarantees it), so positions are comparable across
+// packages.
+type ModulePass struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+	Opts  Options
+	fset  *token.FileSet
+
+	check    string
+	findings []Finding
+}
+
+// Reportf records a finding at pos with a fix hint.
+func (p *ModulePass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	pp := p.fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Check: p.check,
+		File:  pp.Filename,
+		Line:  pp.Line,
+		Col:   pp.Column,
+		Msg:   fmt.Sprintf(format, args...),
+		Hint:  hint,
+	})
+}
+
+// Options configures a suite run.
+type Options struct {
+	// ReportUnusedIgnores should be set when the full suite runs (an
+	// ignore directive for a check that did not run cannot be proven
+	// unused).
+	ReportUnusedIgnores bool
+	// SchemaPath is the committed wire-schema baseline wireevolve checks
+	// against (normally <module root>/wire_schema.json). Empty disables
+	// the schema diff (the check still validates struct shape).
+	SchemaPath string
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -88,7 +140,10 @@ func Analyzers() []*Analyzer {
 		analyzerTickLeak,
 		analyzerNilSafeObs,
 		analyzerWireErr,
-		analyzerBufRelease,
+		analyzerLockOrder,
+		analyzerBufOwn,
+		analyzerWireEvolve,
+		analyzerHotPathAlloc,
 	}
 }
 
@@ -114,48 +169,79 @@ type Result struct {
 	Suppressed []Finding `json:"suppressed,omitempty"`
 }
 
-// Run applies the analyzers to every package. reportUnusedIgnores should
-// be set when the full suite runs (an ignore directive for a check that
-// did not run cannot be proven unused).
-func Run(pkgs []*Package, analyzers []*Analyzer, reportUnusedIgnores bool) Result {
+// Run applies the analyzers to every package: per-package checks run on
+// each package, module checks run once over all of them with a shared
+// call graph. Ignore directives are collected module-wide, so a module
+// finding can be suppressed at the line it lands on regardless of which
+// package triggered the analysis.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
+	var res Result
+	if len(pkgs) == 0 {
+		return res
+	}
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	var res Result
+	var dirs []*directive
 	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg, known)
-		var found []Finding
+		dirs = append(dirs, collectDirectives(pkg, known)...)
+	}
+
+	var found []Finding
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, check: a.Name}
 			a.Run(pass)
 			found = append(found, pass.findings...)
 		}
-		for i := range found {
-			if d := matchDirective(dirs, found[i]); d != nil {
-				d.used = true
-				found[i].Suppressed = true
-				found[i].SuppressReason = d.reason
-				res.Suppressed = append(res.Suppressed, found[i])
-			} else {
-				res.Findings = append(res.Findings, found[i])
-			}
+	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
 		}
-		for _, d := range dirs {
-			switch {
-			case d.malformed != "":
-				res.Findings = append(res.Findings, Finding{
-					Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
-					Msg:  "malformed //vollint:ignore directive: " + d.malformed,
-					Hint: "write //vollint:ignore <check> <reason>",
-				})
-			case reportUnusedIgnores && !d.used:
-				res.Findings = append(res.Findings, Finding{
-					Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
-					Msg:  fmt.Sprintf("//vollint:ignore %s directive matches no finding", d.check),
-					Hint: "remove the stale suppression",
-				})
-			}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mp := &ModulePass{
+			Pkgs:  pkgs,
+			Graph: graph,
+			Opts:  opts,
+			fset:  pkgs[0].Fset,
+			check: a.Name,
+		}
+		a.RunModule(mp)
+		found = append(found, mp.findings...)
+	}
+
+	for i := range found {
+		if d := matchDirective(dirs, found[i]); d != nil {
+			d.used = true
+			found[i].Suppressed = true
+			found[i].SuppressReason = d.reason
+			res.Suppressed = append(res.Suppressed, found[i])
+		} else {
+			res.Findings = append(res.Findings, found[i])
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.malformed != "":
+			res.Findings = append(res.Findings, Finding{
+				Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
+				Msg:  "malformed //vollint:ignore directive: " + d.malformed,
+				Hint: "write //vollint:ignore <check> <reason>",
+			})
+		case opts.ReportUnusedIgnores && !d.used:
+			res.Findings = append(res.Findings, Finding{
+				Check: DirectiveCheck, File: d.file, Line: d.line, Col: d.col,
+				Msg:  fmt.Sprintf("//vollint:ignore %s directive matches no finding", d.check),
+				Hint: "remove the stale suppression",
+			})
 		}
 	}
 	sortFindings(res.Findings)

@@ -70,21 +70,25 @@ func wantMarkers(t *testing.T, dir string) map[string][]string {
 // (a fixture for one check must not trip another).
 func TestGolden(t *testing.T) {
 	cases := []struct {
-		dir  string
-		path string
+		dir    string
+		path   string
+		schema string
 	}{
-		{"determinism", "volcast/internal/codec"},
-		{"lockedsend", "volcast/internal/lint/testdata/lockedsend"},
-		{"goroutinehygiene", "volcast/internal/lint/testdata/goroutinehygiene"},
-		{"tickleak", "volcast/internal/lint/testdata/tickleak"},
-		{"nilsafeobs", "volcast/internal/obs"},
-		{"wireerr", "volcast/internal/transport"},
-		{"bufrelease", "volcast/internal/hub"},
+		{"determinism", "volcast/internal/codec", ""},
+		{"lockedsend", "volcast/internal/lint/testdata/lockedsend", ""},
+		{"goroutinehygiene", "volcast/internal/lint/testdata/goroutinehygiene", ""},
+		{"tickleak", "volcast/internal/lint/testdata/tickleak", ""},
+		{"nilsafeobs", "volcast/internal/obs", ""},
+		{"wireerr", "volcast/internal/transport", ""},
+		{"lockorder", "volcast/internal/hub", ""},
+		{"bufown", "volcast/internal/transport", ""},
+		{"wireevolve", "volcast/internal/wire", filepath.Join("testdata", "wireevolve", "wire_schema.json")},
+		{"hotpathalloc", "volcast/internal/lint/testdata/hotpathalloc", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
 			pkg := loadFixture(t, tc.dir, tc.path)
-			res := Run([]*Package{pkg}, Analyzers(), true)
+			res := Run([]*Package{pkg}, Analyzers(), Options{ReportUnusedIgnores: true, SchemaPath: tc.schema})
 
 			got := map[string][]string{}
 			for _, f := range res.Findings {
@@ -116,7 +120,7 @@ func TestGolden(t *testing.T) {
 // stale directive that matches no finding.
 func TestIgnoreDirectives(t *testing.T) {
 	pkg := loadFixture(t, "ignore", "volcast/internal/lint/testdata/ignore")
-	res := Run([]*Package{pkg}, Analyzers(), true)
+	res := Run([]*Package{pkg}, Analyzers(), Options{ReportUnusedIgnores: true})
 
 	if len(res.Suppressed) != 1 {
 		t.Fatalf("suppressed = %d, want 1: %v", len(res.Suppressed), res.Suppressed)
@@ -152,7 +156,7 @@ func TestIgnoreDirectives(t *testing.T) {
 
 	// A partial-suite run cannot prove a directive unused, so the stale
 	// one must not be reported then.
-	partial := Run([]*Package{pkg}, Analyzers(), false)
+	partial := Run([]*Package{pkg}, Analyzers(), Options{})
 	for _, f := range partial.Findings {
 		if strings.Contains(f.Msg, "matches no finding") {
 			t.Errorf("partial run reported unused directive: %s", f)

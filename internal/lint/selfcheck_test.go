@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"path/filepath"
 	"testing"
 )
 
@@ -28,7 +29,10 @@ func TestSelfCheck(t *testing.T) {
 			t.Fatalf("typecheck %s: %v", p.Path, e)
 		}
 	}
-	res := Run(pkgs, Analyzers(), true)
+	res := Run(pkgs, Analyzers(), Options{
+		ReportUnusedIgnores: true,
+		SchemaPath:          filepath.Join(l.ModDir, "wire_schema.json"),
+	})
 	for _, f := range res.Findings {
 		t.Errorf("vollint: %s", f)
 	}

@@ -1,0 +1,102 @@
+// Package hotpathalloc is the hotpathalloc golden fixture: annotated
+// functions with every direct allocation source (string concat, slice
+// literal, make, string<->[]byte conversion, interface boxing, closure
+// capture, go statement), an allocation reached only through a callee,
+// and the clean shapes (preallocated ring writes, pointer arguments,
+// pool-mediated helpers, unannotated allocators).
+package hotpathalloc
+
+import "sync"
+
+// ring is a preallocated buffer an annotated function may write into
+// freely.
+type ring struct {
+	buf []byte
+	n   int
+}
+
+var bufPool sync.Pool
+
+// box stands in for an interface-taking sink (metrics, logging).
+func box(v any) { _ = v }
+
+// makeBox allocates; it is unannotated, so the finding lands on its
+// annotated callers, not here.
+func makeBox() *ring {
+	return &ring{}
+}
+
+//vollint:hotpath
+func Concat(a, b string) string {
+	return a + b //want:hotpathalloc
+}
+
+//vollint:hotpath
+func Grow(xs []int) []int {
+	out := []int{} //want:hotpathalloc
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//vollint:hotpath
+func Make(n int) []int {
+	return make([]int, n) //want:hotpathalloc
+}
+
+//vollint:hotpath
+func Convert(b []byte) string {
+	return string(b) //want:hotpathalloc
+}
+
+//vollint:hotpath
+func Boxes(n int) {
+	box(n) //want:hotpathalloc
+	box(&n)
+}
+
+//vollint:hotpath
+func Capture(n int) func() int {
+	f := func() int { return n } //want:hotpathalloc
+	return f
+}
+
+//vollint:hotpath
+func Spawn(done chan struct{}) {
+	go func() { //want:hotpathalloc
+		<-done
+	}()
+}
+
+// Indirect has no allocation of its own; it reaches one through makeBox.
+//
+//vollint:hotpath
+func Indirect() *ring {
+	return makeBox() //want:hotpathalloc
+}
+
+// push writes into preallocated storage: clean.
+//
+//vollint:hotpath
+func (r *ring) push(b byte) {
+	r.buf[r.n] = b
+	r.n++
+}
+
+// Pooled touches a sync.Pool: pool-mediated, exempt by design.
+//
+//vollint:hotpath
+func Pooled() []byte {
+	b, _ := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b
+}
+
+// Reuse appends into a caller-owned base: no growth source visible.
+//
+//vollint:hotpath
+func Reuse(dst []int, x int) []int {
+	dst = append(dst, x)
+	return dst
+}

@@ -1,0 +1,61 @@
+// Package wireevolve is the wireevolve golden fixture. It impersonates
+// volcast/internal/wire with its own miniature protocol and is diffed
+// against the committed wire_schema.json next to it, which was written
+// for an older revision of this file: a removed message (Gone), a
+// renamed field inside the committed prefix (Hello.Token became Scene),
+// a dropped trailing field (Ping.T), and changed flag and message-type
+// values. Additive evolution — Welcome's appended trailing field, the
+// new Stats message with its referenced Cell struct, FlagNew — stays
+// clean.
+package wireevolve //want:wireevolve
+
+// MsgType identifies a message.
+type MsgType uint8
+
+const (
+	TypeHello MsgType = 1
+	TypePing  MsgType = 2 //want:wireevolve
+	TypeStats MsgType = 7
+)
+
+const (
+	FlagKeyframe uint8 = 1
+	FlagDelta    uint8 = 2 //want:wireevolve
+	FlagNew      uint8 = 8
+)
+
+// Hello renamed its second committed field: a prefix break.
+type Hello struct {
+	Version uint8
+	Scene   string //want:wireevolve
+}
+
+func (*Hello) Type() MsgType { return TypeHello }
+
+// Ping dropped its committed trailing timestamp field.
+type Ping struct { //want:wireevolve
+	Seq uint32
+}
+
+func (*Ping) Type() MsgType { return TypePing }
+
+// Welcome appended a trailing field after the committed prefix: legal.
+type Welcome struct {
+	ID   uint32
+	Name string
+}
+
+func (*Welcome) Type() MsgType { return 4 }
+
+// Cell rides along: referenced from a message's fields, its layout is
+// part of the encoding.
+type Cell struct {
+	X uint32
+}
+
+// Stats is a brand-new message: legal.
+type Stats struct {
+	Cells []Cell
+}
+
+func (*Stats) Type() MsgType { return TypeStats }

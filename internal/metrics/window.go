@@ -113,6 +113,8 @@ func (w *Windowed) rotate() {
 }
 
 // Observe records one sample into the current sub-window.
+//
+//vollint:hotpath
 func (w *Windowed) Observe(v float64) {
 	if w == nil {
 		return
@@ -241,6 +243,8 @@ func (c *WindowedCounter) rotate() {
 }
 
 // Add records n events in the current sub-window.
+//
+//vollint:hotpath
 func (c *WindowedCounter) Add(n int64) {
 	if c == nil {
 		return
@@ -253,6 +257,8 @@ func (c *WindowedCounter) Add(n int64) {
 }
 
 // Inc records one event.
+//
+//vollint:hotpath
 func (c *WindowedCounter) Inc() { c.Add(1) }
 
 // Value returns the event count over the window.

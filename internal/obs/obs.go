@@ -203,6 +203,8 @@ func StageBudget(deadline time.Duration, s Stage) time.Duration {
 }
 
 // Record stores one measured span.
+//
+//vollint:hotpath
 func (t *Tracer) Record(frame, user int, stage Stage, start time.Time, dur time.Duration) {
 	t.record(frame, user, stage, 0, start, dur)
 }
@@ -214,6 +216,7 @@ func (t *Tracer) RecordModeled(frame, user int, stage Stage, dur time.Duration) 
 	t.record(frame, user, stage, FlagModeled, time.Now(), dur)
 }
 
+//vollint:hotpath
 func (t *Tracer) record(frame, user int, stage Stage, flags uint8, start time.Time, dur time.Duration) {
 	if t == nil {
 		return

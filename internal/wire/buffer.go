@@ -16,8 +16,8 @@ const maxPooledBuffer = 1 << 20
 // from a sync.Pool, the fan-out tree retains one reference per reader,
 // and the last Release returns the array to the pool.
 //
-// Ownership rules (enforced by the vollint bufrelease check in the hub
-// and transport packages):
+// Ownership rules (enforced interprocedurally by the vollint bufown
+// check across the hub, transport and wire packages):
 //
 //   - NewBuffer returns the buffer with a reference count of 1, owned by
 //     the caller.
@@ -39,6 +39,8 @@ var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
 
 // NewBuffer frames m into a pooled buffer and returns it with a
 // reference count of 1.
+//
+//vollint:hotpath
 func NewBuffer(m Message) (*Buffer, error) {
 	b := bufferPool.Get().(*Buffer)
 	data, err := AppendMessage(b.data[:0], m)
@@ -53,6 +55,8 @@ func NewBuffer(m Message) (*Buffer, error) {
 
 // Bytes returns the framed message bytes. The slice is valid until the
 // holder releases its reference and must never be mutated.
+//
+//vollint:hotpath
 func (b *Buffer) Bytes() []byte {
 	if b == nil {
 		return nil
@@ -70,6 +74,8 @@ func (b *Buffer) Len() int {
 
 // Retain adds n references: the holder is about to hand the buffer to n
 // more readers, each of which must Release it.
+//
+//vollint:hotpath
 func (b *Buffer) Retain(n int) {
 	if b == nil || n <= 0 {
 		return
@@ -82,6 +88,8 @@ func (b *Buffer) Retain(n int) {
 // an unrelated message — holding Bytes past Release is a use-after-free
 // class bug. Releasing more times than retained panics: a silent
 // double-release would corrupt a buffer some other writer still owns.
+//
+//vollint:hotpath
 func (b *Buffer) Release() {
 	if b == nil {
 		return
